@@ -1,0 +1,119 @@
+// Command flbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	flbench -scale small fig1 fig3 table1 table2 overhead scale ablation
+//	flbench -scale tiny all
+//	flbench -scale small -csv out/ fig3
+//
+// Each experiment id maps to one table or figure of the paper (see
+// DESIGN.md's per-experiment index). Figures are rendered as ASCII curves
+// on stdout and, with -csv, written as CSV series for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"adafl/internal/experiments"
+	"adafl/internal/trace"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: tiny|small|full")
+	csvDir := flag.String("csv", "", "directory to write figure CSVs into (optional)")
+	svgDir := flag.String("svg", "", "directory to write figure SVGs into (optional)")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	preset := experiments.PresetFor(scale)
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = []string{"all"}
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = []string{"fig1", "fig3", "table1", "table2", "overhead", "scale",
+			"ablation", "codecs", "dynamic", "protocols"}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("=== %s (scale=%s) ===\n", id, scale)
+		var figs []*trace.Figure
+		switch id {
+		case "fig1":
+			res := experiments.RunFig1(preset, os.Stdout)
+			figs = res.Panels
+		case "fig3":
+			res := experiments.RunFig3(preset, os.Stdout)
+			figs = res.Panels
+		case "table1":
+			experiments.RunTable1(preset, os.Stdout)
+		case "table2":
+			experiments.RunTable2(preset, os.Stdout)
+		case "overhead":
+			experiments.RunOverhead(preset, os.Stdout)
+		case "scale":
+			experiments.RunScale(preset, os.Stdout)
+		case "ablation":
+			experiments.RunAblations(preset, os.Stdout)
+		case "codecs":
+			experiments.RunCodecs(preset, os.Stdout)
+		case "dynamic":
+			experiments.RunDynamic(preset, os.Stdout)
+		case "protocols":
+			res := experiments.RunProtocols(preset, os.Stdout)
+			figs = []*trace.Figure{res.Figure}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		if *csvDir != "" && len(figs) > 0 {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for i, fig := range figs {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%02d.csv", id, i))
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if err := fig.WriteCSV(f); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+				f.Close()
+			}
+			fmt.Printf("wrote %d CSV series to %s\n", len(figs), *csvDir)
+		}
+		if *svgDir != "" && len(figs) > 0 {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for i, fig := range figs {
+				path := filepath.Join(*svgDir, fmt.Sprintf("%s_%02d.svg", id, i))
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if err := fig.WriteSVG(f, 640, 400); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+				f.Close()
+			}
+			fmt.Printf("wrote %d SVG figures to %s\n", len(figs), *svgDir)
+		}
+		fmt.Printf("=== %s done in %v ===\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,74 @@
+// Command flclient runs one AdaFL federation client over TCP.
+//
+// The client synthesises its data shard locally from the shared seed (the
+// same non-IID partition the server expects), trains on its own device,
+// scores its updates, and uploads only when selected — with the
+// compression ratio the server assigned. Use -upbps with -throttle to
+// emulate a constrained embedded uplink on a real socket.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"adafl/internal/core"
+	"adafl/internal/dataset"
+	"adafl/internal/nn"
+	"adafl/internal/rpc"
+	"adafl/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7070", "server address")
+	id := flag.Int("id", 0, "client id (0-based, unique)")
+	clients := flag.Int("clients", 3, "total federation size (must match server)")
+	seed := flag.Uint64("seed", 1, "shared experiment seed (must match server)")
+	imgSize := flag.Int("imgsize", 16, "synthetic image size (must match server)")
+	samples := flag.Int("samples", 2000, "total synthetic samples (must match server)")
+	iid := flag.Bool("iid", false, "IID partition instead of 2-shard non-IID")
+	upbps := flag.Float64("upbps", 2.5e6, "uplink bandwidth reported into the utility score (B/s)")
+	downbps := flag.Float64("downbps", 5e6, "downlink bandwidth reported into the utility score (B/s)")
+	throttle := flag.Bool("throttle", false, "actually rate-limit the uplink socket to -upbps")
+	steps := flag.Int("steps", 4, "local SGD steps per round")
+	batch := flag.Int("batch", 16, "batch size")
+	lr := flag.Float64("lr", 0.1, "learning rate")
+	flag.Parse()
+
+	if *id < 0 || *id >= *clients {
+		log.Fatalf("flclient: id %d out of range [0, %d)", *id, *clients)
+	}
+
+	// Rebuild the shared partition and keep only this client's shard.
+	ds := dataset.SynthMNIST(*samples, *imgSize, *seed)
+	train, _ := ds.Split(0.8, *seed+1)
+	var parts []*dataset.Dataset
+	if *iid {
+		parts = dataset.PartitionIID(train, *clients, *seed+2)
+	} else {
+		parts = dataset.PartitionShards(train, *clients, 2, *seed+2)
+	}
+	shard := parts[*id]
+
+	size := *imgSize
+	modelSeed := *seed + 3
+	newModel := func() *nn.Model {
+		return nn.NewImageMLP([]int{1, size, size}, []int{32}, 10, stats.NewRNG(modelSeed))
+	}
+	cfg := core.DefaultConfig()
+
+	log.Printf("flclient %d: %d local samples, dialing %s", *id, shard.Len(), *addr)
+	res, err := rpc.RunClient(rpc.ClientConfig{
+		Addr: *addr, ID: *id, Data: shard, NewModel: newModel,
+		LocalSteps: *steps, BatchSize: *batch, LR: *lr, Momentum: 0.9,
+		Utility: cfg.Utility, UpBps: *upbps, DownBps: *downbps,
+		ThrottleUplink: *throttle,
+		DGCMomentum:    cfg.DGCMomentum, DGCClip: cfg.DGCClip, DGCMsgClip: cfg.DGCMsgClip,
+		Seed: *seed + 100 + uint64(*id),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client %d: rounds=%d uploads=%d sent=%.1fKB\n",
+		*id, res.Rounds, res.Uploads, float64(res.BytesSent)/1e3)
+}

@@ -1,0 +1,177 @@
+// Command flsim runs a single configurable federated-learning simulation
+// and reports the learning curve, communication cost, and selection
+// behaviour — the general-purpose entry point for exploring the library
+// without writing Go.
+//
+// Examples:
+//
+//	flsim -method adafl -dist noniid -clients 10 -rounds 60
+//	flsim -method fedavg -rate 0.5 -clients 20 -dist iid
+//	flsim -method fedasync -async -horizon 60 -dist noniid
+//	flsim -method adafl -async -horizon 60 -csv run.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"adafl/internal/core"
+	"adafl/internal/dataset"
+	"adafl/internal/fl"
+	"adafl/internal/netsim"
+	"adafl/internal/nn"
+	"adafl/internal/stats"
+	"adafl/internal/trace"
+)
+
+func main() {
+	method := flag.String("method", "adafl", "fedavg|fedadam|fedprox|scaffold|adafl (sync) / fedasync|fedbuff|fedat|adafl (-async)")
+	async := flag.Bool("async", false, "use the asynchronous protocol")
+	dist := flag.String("dist", "noniid", "iid|noniid (2-shard)")
+	clients := flag.Int("clients", 10, "federation size")
+	rounds := flag.Int("rounds", 60, "synchronous rounds")
+	horizon := flag.Float64("horizon", 40, "asynchronous simulated-time budget (s)")
+	rate := flag.Float64("rate", 0.5, "baseline participation rate")
+	samples := flag.Int("samples", 1500, "synthetic dataset size")
+	imgSize := flag.Int("imgsize", 16, "image edge length")
+	seed := flag.Uint64("seed", 11, "experiment seed")
+	csvPath := flag.String("csv", "", "write the run history as CSV to this path")
+	tracePath := flag.String("trace", "", "bandwidth trace CSV (time,multiplier per line) applied to every odd-indexed client")
+	flag.Parse()
+
+	iid := *dist == "iid"
+	ds := dataset.SynthMNIST(*samples, *imgSize, *seed)
+	train, test := ds.Split(0.8, *seed+1)
+	var parts []*dataset.Dataset
+	if iid {
+		parts = dataset.PartitionIID(train, *clients, *seed+2)
+	} else {
+		parts = dataset.PartitionShards(train, *clients, 2, *seed+2)
+	}
+	size := *imgSize
+	modelSeed := *seed + 4
+	newModel := func() *nn.Model {
+		return nn.NewImageMLP([]int{1, size, size}, []int{32}, 10, stats.NewRNG(modelSeed))
+	}
+	net := netsim.UniformNetwork(*clients, netsim.WiFiLink, *seed+3)
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := netsim.ParseTraceCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 1; i < *clients; i += 2 {
+			l := net.Link(i)
+			l.Trace = tr
+			net.SetLink(i, l)
+		}
+	}
+	trainCfg := fl.TrainConfig{LocalSteps: 4, BatchSize: 16, LR: 0.1, Momentum: 0.9}
+	fed := fl.NewFederation(parts, test, net, newModel, trainCfg, *seed+5)
+	for _, c := range fed.Clients {
+		c.Device = c.Device.Scaled(0.002) // paper-cadence pacing, see DESIGN.md
+	}
+
+	adaCfg := core.DefaultConfig()
+	adaCfg.ScaleRatiosForModel(newModel().NumParams())
+
+	var hist *fl.History
+	var upBytes int64
+	var updates int
+
+	if !*async {
+		var agg fl.Aggregator = fl.FedAvg{}
+		var planner fl.RoundPlanner = fl.NewFixedRatePlanner(*rate, 1, *seed+8)
+		switch *method {
+		case "fedavg":
+		case "fedadam":
+			agg = fl.NewFedAdam(0.02)
+		case "fedprox":
+			for _, c := range fed.Clients {
+				c.Cfg.ProxMu = 0.01
+			}
+		case "scaffold":
+			for _, c := range fed.Clients {
+				c.Cfg.Scaffold = true
+				c.Cfg.Momentum = 0
+			}
+			agg = fl.NewScaffold(1, *clients)
+		case "adafl":
+			adaCfg.AttachDGC(fed)
+			planner = core.NewSyncPlanner(adaCfg)
+		default:
+			log.Fatalf("unknown sync method %q", *method)
+		}
+		e := fl.NewSyncEngine(fed, agg, planner, *seed+6)
+		e.EvalEvery = 5
+		e.RunRounds(*rounds)
+		hist, upBytes, updates = &e.Hist, e.TotalUplinkBytes(), e.TotalUpdates()
+	} else {
+		switch *method {
+		case "fedasync":
+			e := fl.NewAsyncEngine(fed, fl.FedAsync{Alpha: 0.5, Decay: 0.5}, fl.AlwaysUpload{})
+			e.EvalInterval = 5
+			e.Run(*horizon)
+			hist, upBytes, updates = &e.Hist, e.TotalUplinkBytes(), e.TotalUpdates()
+		case "fedbuff":
+			e := fl.NewAsyncEngine(fed, fl.NewFedBuff(3, 1), fl.AlwaysUpload{})
+			e.EvalInterval = 5
+			e.Run(*horizon)
+			hist, upBytes, updates = &e.Hist, e.TotalUplinkBytes(), e.TotalUpdates()
+		case "fedat":
+			e := fl.NewFedATEngine(fed, 3, 0.5)
+			e.EvalInterval = 5
+			e.Run(*horizon)
+			hist, upBytes = &e.Hist, e.TotalUplinkBytes()
+			updates = hist.TotalUpdates()
+		case "adafl":
+			adaCfg.AttachDGC(fed)
+			gate := core.NewAsyncGate(adaCfg)
+			e := fl.NewAsyncEngine(fed,
+				core.AsyncApply{Alpha: adaCfg.AsyncAlpha, Anchor: adaCfg.AsyncAnchor, Decay: adaCfg.AsyncDecay}, gate)
+			e.EvalInterval = 5
+			e.Run(*horizon)
+			hist, upBytes, updates = &e.Hist, e.TotalUplinkBytes(), e.TotalUpdates()
+		default:
+			log.Fatalf("unknown async method %q", *method)
+		}
+	}
+
+	// Render the learning curve.
+	xlabel := "round"
+	if *async {
+		xlabel = "time (s)"
+	}
+	fig := trace.NewFigure(fmt.Sprintf("%s (%s, %d clients)", *method, *dist, *clients), xlabel, "accuracy")
+	s := fig.AddSeries(*method)
+	for _, r := range hist.Rows {
+		if r.TestAcc == r.TestAcc {
+			x := float64(r.Round)
+			if *async {
+				x = r.Time
+			}
+			s.Add(x, r.TestAcc)
+		}
+	}
+	fig.RenderASCII(os.Stdout, 64, 12)
+	fmt.Printf("\nfinal acc %.1f%%  best %.1f%%  uplink %.1f KB  updates %d\n",
+		100*hist.FinalAcc(), 100*hist.BestAcc(), float64(upBytes)/1e3, updates)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hist.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("history written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,3 @@
+module adafl
+
+go 1.22

@@ -1,0 +1,92 @@
+package compress
+
+import "adafl/internal/tensor"
+
+// DGC implements Deep Gradient Compression (Lin et al. 2017), the codec
+// AdaFL's adaptive compression builds on. Per encode call it:
+//
+//  1. clips the incoming gradient to ClipNorm (local gradient clipping,
+//     preventing explosion under aggressive sparsification),
+//  2. applies momentum correction: u ← m·u + g, v ← v + u, so delayed
+//     small coordinates accumulate momentum-consistent mass instead of
+//     being repeatedly discarded,
+//  3. transmits the top-k coordinates of the accumulator v and clears the
+//     transmitted coordinates of both u and v (error feedback).
+//
+// The struct is per-client state; one DGC instance must not be shared
+// between clients.
+type DGC struct {
+	// Momentum is the correction factor m (typically the trainer's own
+	// momentum coefficient).
+	Momentum float64
+	// ClipNorm bounds the L2 norm of each incoming gradient before
+	// accumulation; 0 disables clipping.
+	ClipNorm float64
+	// ResidualDecay ∈ [0, 1] multiplies the untransmitted accumulator
+	// before each new gradient is added. 1 is classic DGC (keep all
+	// residual mass); lower values fade stale residuals, which stabilises
+	// intermittent senders — clients that are selected only occasionally
+	// would otherwise dump large out-of-date accumulations. A zero value
+	// is treated as 1 so the zero struct behaves like classic DGC.
+	ResidualDecay float64
+	// MsgClipFactor, when positive, bounds the L2 norm of each transmitted
+	// message to MsgClipFactor·‖g‖ (the current incoming gradient's norm).
+	// The clipped-away portion stays in the accumulator, so mass is
+	// conserved but large stale residuals drain over several rounds
+	// instead of being dumped at once. 0 disables message clipping.
+	MsgClipFactor float64
+
+	u, v []float64
+}
+
+// NewDGC returns a DGC codec with the given momentum correction factor and
+// clipping threshold.
+func NewDGC(momentum, clipNorm float64) *DGC {
+	return &DGC{Momentum: momentum, ClipNorm: clipNorm}
+}
+
+// Name implements Codec.
+func (d *DGC) Name() string { return "dgc" }
+
+// Reset implements Codec.
+func (d *DGC) Reset() { d.u, d.v = nil, nil }
+
+// AccumulatedNorm exposes the L2 norm of the residual accumulator, used by
+// tests and diagnostics to verify error feedback drains over time.
+func (d *DGC) AccumulatedNorm() float64 { return tensor.Norm2(d.v) }
+
+// Encode implements Codec.
+func (d *DGC) Encode(grad []float64, ratio float64) *Sparse {
+	if d.u == nil {
+		d.u = make([]float64, len(grad))
+		d.v = make([]float64, len(grad))
+	}
+	if len(d.u) != len(grad) {
+		panic("compress: DGC gradient dimension changed")
+	}
+	g := tensor.CopyVec(grad)
+	if d.ClipNorm > 0 {
+		tensor.ClipNorm(g, d.ClipNorm)
+	}
+	decay := d.ResidualDecay
+	if decay == 0 {
+		decay = 1
+	}
+	for i, x := range g {
+		d.u[i] = d.Momentum*d.u[i] + x
+		d.v[i] = decay*d.v[i] + d.u[i]
+	}
+	k := KForRatio(len(grad), ratio)
+	msg := SelectTopK(d.v, k)
+	if d.MsgClipFactor > 0 {
+		bound := d.MsgClipFactor * tensor.Norm2(g)
+		if n := tensor.Norm2(msg.Values); n > bound && n > 0 {
+			tensor.ScaleVec(msg.Values, bound/n)
+		}
+	}
+	for i, idx := range msg.Indices {
+		d.u[idx] = 0
+		d.v[idx] -= msg.Values[i]
+	}
+	return msg
+}

@@ -1,0 +1,50 @@
+package compress_test
+
+import (
+	"fmt"
+
+	"adafl/internal/compress"
+)
+
+// ExampleSelectTopK sparsifies a gradient to its largest-magnitude
+// coordinates.
+func ExampleSelectTopK() {
+	grad := []float64{0.1, -5, 0.3, 4, -0.2}
+	msg := compress.SelectTopK(grad, 2)
+	fmt.Println("kept coordinates:", msg.Indices)
+	fmt.Println("values:", msg.Values)
+	fmt.Println("wire bytes:", msg.WireBytes(), "of", compress.DenseBytes(len(grad)))
+	// Output:
+	// kept coordinates: [1 3]
+	// values: [-5 4]
+	// wire bytes: 24 of 28
+}
+
+// ExampleDGC shows error feedback: coordinates dropped in one round are
+// accumulated and can be transmitted later.
+func ExampleDGC() {
+	dgc := compress.NewDGC(0, 0) // no momentum correction, no clipping
+	grad := []float64{1.0, 0.4, 0.1, 0.05}
+
+	first := dgc.Encode(grad, 4) // keep only the top coordinate
+	fmt.Println("round 1 sends:", first.Indices)
+
+	// Even with a zero gradient this round, the accumulated residual from
+	// round 1 (0.4 at index 1) is transmitted.
+	second := dgc.Encode(make([]float64, 4), 4)
+	fmt.Println("round 2 sends:", second.Indices)
+	// Output:
+	// round 1 sends: [0]
+	// round 2 sends: [1]
+}
+
+// ExampleKForRatio converts a byte-level compression target into a
+// coordinate budget.
+func ExampleKForRatio() {
+	dim := 431080 // the paper CNN's parameter count
+	fmt.Println("k at 210x:", compress.KForRatio(dim, 210))
+	fmt.Println("k at 4x  :", compress.KForRatio(dim, 4))
+	// Output:
+	// k at 210x: 1026
+	// k at 4x  : 53885
+}

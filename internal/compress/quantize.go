@@ -1,0 +1,70 @@
+package compress
+
+import (
+	"math"
+
+	"adafl/internal/stats"
+	"adafl/internal/tensor"
+)
+
+// QSGD is a stochastic uniform quantizer (Alistarh et al. 2017) used as the
+// model-level quantization baseline in the related-work comparison. Each
+// coordinate is quantized to one of Levels magnitude buckets of ‖g‖₂ with
+// unbiased stochastic rounding.
+//
+// QSGD does not produce a Sparse message natively; Encode returns a dense
+// Sparse whose WireBytes are overridden through the Quantized wrapper.
+type QSGD struct {
+	// Levels is the number of quantization levels s (≥ 1). 2^b - 1 levels
+	// correspond to b bits per coordinate plus a sign bit.
+	Levels int
+
+	rng *stats.RNG
+}
+
+// NewQSGD returns a QSGD codec with the given level count and RNG for
+// stochastic rounding.
+func NewQSGD(levels int, rng *stats.RNG) *QSGD {
+	if levels < 1 {
+		panic("compress: QSGD needs at least 1 level")
+	}
+	return &QSGD{Levels: levels, rng: rng}
+}
+
+// Name implements Codec.
+func (q *QSGD) Name() string { return "qsgd" }
+
+// Reset implements Codec.
+func (q *QSGD) Reset() {}
+
+// BitsPerCoordinate returns the wire cost of one quantized coordinate:
+// sign bit plus ⌈log2(Levels+1)⌉ magnitude bits.
+func (q *QSGD) BitsPerCoordinate() int {
+	return 1 + int(math.Ceil(math.Log2(float64(q.Levels)+1)))
+}
+
+// Encode implements Codec. The ratio argument is ignored: QSGD's
+// compression factor is fixed by its level count.
+func (q *QSGD) Encode(grad []float64, _ float64) *Sparse {
+	norm := tensor.Norm2(grad)
+	out := NewSparseDense(grad)
+	if norm == 0 {
+		out.quantizedBits = q.BitsPerCoordinate()
+		return out
+	}
+	s := float64(q.Levels)
+	for i, g := range grad {
+		a := math.Abs(g) / norm * s
+		l := math.Floor(a)
+		if q.rng.Float64() < a-l {
+			l++
+		}
+		val := norm * l / s
+		if g < 0 {
+			val = -val
+		}
+		out.Values[i] = val
+	}
+	out.quantizedBits = q.BitsPerCoordinate()
+	return out
+}

@@ -1,0 +1,125 @@
+package compress
+
+import (
+	"sort"
+
+	"adafl/internal/stats"
+	"adafl/internal/tensor"
+)
+
+// TernGrad (Wen et al. 2017) quantizes every gradient coordinate to
+// {-s, 0, +s} where s = max|g|, with stochastic rounding that keeps the
+// estimate unbiased: P(bᵢ=1) = |gᵢ|/s. It is the second model-level
+// baseline the paper's related work discusses (alongside QSGD).
+//
+// Wire format: the scale scalar plus 2 bits per coordinate.
+type TernGrad struct {
+	rng *stats.RNG
+}
+
+// NewTernGrad returns a TernGrad codec using rng for stochastic rounding.
+func NewTernGrad(rng *stats.RNG) *TernGrad {
+	return &TernGrad{rng: rng}
+}
+
+// Name implements Codec.
+func (t *TernGrad) Name() string { return "terngrad" }
+
+// Reset implements Codec.
+func (t *TernGrad) Reset() {}
+
+// Encode implements Codec. The ratio argument is ignored: TernGrad's
+// compression factor is fixed at ~16x (2 bits vs 32).
+func (t *TernGrad) Encode(grad []float64, _ float64) *Sparse {
+	s := 0.0
+	for _, g := range grad {
+		a := g
+		if a < 0 {
+			a = -a
+		}
+		if a > s {
+			s = a
+		}
+	}
+	out := NewSparseDense(grad)
+	out.quantizedBits = 2
+	if s == 0 {
+		for i := range out.Values {
+			out.Values[i] = 0
+		}
+		return out
+	}
+	for i, g := range grad {
+		a := g
+		if a < 0 {
+			a = -a
+		}
+		v := 0.0
+		if t.rng.Float64() < a/s {
+			if g >= 0 {
+				v = s
+			} else {
+				v = -s
+			}
+		}
+		out.Values[i] = v
+	}
+	return out
+}
+
+// RandomK transmits k uniformly random coordinates scaled by d/k to stay
+// unbiased — the naive sparsification baseline that top-k methods are
+// measured against.
+type RandomK struct {
+	rng *stats.RNG
+	// Scale compensates the subsampling so E[decode] = grad; disable for
+	// raw subsampling.
+	Scale bool
+}
+
+// NewRandomK returns a random-k codec with unbiased scaling enabled.
+func NewRandomK(rng *stats.RNG) *RandomK {
+	return &RandomK{rng: rng, Scale: true}
+}
+
+// Name implements Codec.
+func (r *RandomK) Name() string { return "randomk" }
+
+// Reset implements Codec.
+func (r *RandomK) Reset() {}
+
+// Encode implements Codec.
+func (r *RandomK) Encode(grad []float64, ratio float64) *Sparse {
+	k := KForRatio(len(grad), ratio)
+	if k >= len(grad) {
+		return NewSparseDense(grad)
+	}
+	perm := r.rng.Perm(len(grad))[:k]
+	// Sort indices for a deterministic wire image.
+	sort.Ints(perm)
+	s := &Sparse{Dim: len(grad), Indices: make([]int32, k), Values: make([]float64, k)}
+	scale := 1.0
+	if r.Scale {
+		scale = float64(len(grad)) / float64(k)
+	}
+	for i, idx := range perm {
+		s.Indices[i] = int32(idx)
+		s.Values[i] = grad[idx] * scale
+	}
+	return s
+}
+
+// ErrorNorm measures the relative L2 error of a codec's single-shot
+// encoding of grad at the given ratio: ‖decode − grad‖/‖grad‖. Used by
+// the codec-comparison experiment and tests.
+func ErrorNorm(c Codec, grad []float64, ratio float64) float64 {
+	msg := c.Encode(grad, ratio)
+	dec := msg.Dense()
+	diff := make([]float64, len(grad))
+	tensor.SubVec(diff, dec, grad)
+	gn := tensor.Norm2(grad)
+	if gn == 0 {
+		return 0
+	}
+	return tensor.Norm2(diff) / gn
+}

@@ -1,0 +1,133 @@
+package compress
+
+import "sort"
+
+// topKThreshold returns the magnitude of the k-th largest |v| using an
+// iterative quickselect over a scratch copy (O(n) expected). k must be in
+// [1, len(v)].
+func topKThreshold(v []float64, k int) float64 {
+	abs := make([]float64, len(v))
+	for i, x := range v {
+		if x < 0 {
+			abs[i] = -x
+		} else {
+			abs[i] = x
+		}
+	}
+	// Select the element at rank len-k in ascending order.
+	target := len(abs) - k
+	lo, hi := 0, len(abs)-1
+	for lo < hi {
+		pivot := abs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for abs[i] < pivot {
+				i++
+			}
+			for abs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				abs[i], abs[j] = abs[j], abs[i]
+				i++
+				j--
+			}
+		}
+		if target <= j {
+			hi = j
+		} else if target >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return abs[target]
+}
+
+// SelectTopK builds a sparse message from the k largest-magnitude
+// coordinates of v. Ties at the threshold are resolved by coordinate order
+// and the result is truncated to exactly k entries.
+func SelectTopK(v []float64, k int) *Sparse {
+	if k <= 0 {
+		panic("compress: non-positive k")
+	}
+	if k >= len(v) {
+		return NewSparseDense(v)
+	}
+	thr := topKThreshold(v, k)
+	s := &Sparse{Dim: len(v), Indices: make([]int32, 0, k), Values: make([]float64, 0, k)}
+	// First take strictly-above-threshold entries, then fill with
+	// at-threshold entries until k (handles duplicates of the threshold).
+	for i, x := range v {
+		a := x
+		if a < 0 {
+			a = -a
+		}
+		if a > thr {
+			s.Indices = append(s.Indices, int32(i))
+			s.Values = append(s.Values, x)
+		}
+	}
+	for i, x := range v {
+		if len(s.Indices) >= k {
+			break
+		}
+		a := x
+		if a < 0 {
+			a = -a
+		}
+		if a == thr {
+			s.Indices = append(s.Indices, int32(i))
+			s.Values = append(s.Values, x)
+		}
+	}
+	// Keep coordinates sorted for deterministic wire images.
+	sort.Sort(byIndex{s})
+	return s
+}
+
+type byIndex struct{ s *Sparse }
+
+func (b byIndex) Len() int           { return len(b.s.Indices) }
+func (b byIndex) Less(i, j int) bool { return b.s.Indices[i] < b.s.Indices[j] }
+func (b byIndex) Swap(i, j int) {
+	b.s.Indices[i], b.s.Indices[j] = b.s.Indices[j], b.s.Indices[i]
+	b.s.Values[i], b.s.Values[j] = b.s.Values[j], b.s.Values[i]
+}
+
+// Codec compresses a gradient vector into a sparse message. Encode may be
+// stateful (error accumulation); Ratio is the requested byte-level
+// compression factor for this call, letting AdaFL vary it round to round.
+type Codec interface {
+	Name() string
+	Encode(grad []float64, ratio float64) *Sparse
+	// Reset clears any client-local state (accumulators).
+	Reset()
+}
+
+// Identity transmits the gradient uncompressed regardless of ratio.
+type Identity struct{}
+
+// Name implements Codec.
+func (Identity) Name() string { return "identity" }
+
+// Encode implements Codec.
+func (Identity) Encode(grad []float64, _ float64) *Sparse { return NewSparseDense(grad) }
+
+// Reset implements Codec.
+func (Identity) Reset() {}
+
+// TopK is stateless magnitude sparsification: the classic baseline that
+// simply drops small coordinates (no error feedback).
+type TopK struct{}
+
+// Name implements Codec.
+func (TopK) Name() string { return "topk" }
+
+// Encode implements Codec.
+func (TopK) Encode(grad []float64, ratio float64) *Sparse {
+	return SelectTopK(grad, KForRatio(len(grad), ratio))
+}
+
+// Reset implements Codec.
+func (TopK) Reset() {}

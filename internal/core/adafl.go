@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math"
+
+	"adafl/internal/compress"
+	"adafl/internal/device"
+	"adafl/internal/fl"
+	"adafl/internal/tensor"
+)
+
+// Config bundles the AdaFL hyperparameters.
+type Config struct {
+	// K is the maximum number of clients selected per synchronous round
+	// (the paper uses k ≤ 5 of 10).
+	K int
+	// Tau is the utility threshold τ ∈ [0, 1].
+	Tau float64
+	// Utility configures the score f.
+	Utility UtilityConfig
+	// Compression configures the adaptive ratio controller.
+	Compression CompressionController
+	// ExploreFrac reserves a fraction of the K selection slots for the
+	// least-recently-selected clients. This extends the warm-up phase's
+	// equal-participation principle past warm-up: pure top-score selection
+	// can lock onto a coalition of mutually-aligned clients and starve
+	// non-IID shards. 0 disables the reservation (pure Algorithm 1). The
+	// default 0.8 empirically dominates both pure ranking (starvation) and
+	// pure round-robin (no utility signal); see the ablation bench.
+	ExploreFrac float64
+	// AsyncAlpha, AsyncAnchor and AsyncDecay configure the fully-
+	// asynchronous server apply step (delta scale, anchor pull, and the
+	// polynomial staleness exponent) — see AsyncApply.
+	AsyncAlpha, AsyncAnchor, AsyncDecay float64
+	// DGCMomentum and DGCClip configure the client-side DGC codecs
+	// AttachDGC installs. In the delta-exchange engines the client's model
+	// delta already carries the local optimizer's momentum, so the codec's
+	// momentum correction defaults to 0 (pure error feedback); momentum
+	// correction harmonises sparse updates only when raw per-step
+	// gradients are exchanged.
+	DGCMomentum, DGCClip float64
+	// DGCMsgClip bounds each transmitted message's norm relative to the
+	// current delta (see compress.DGC.MsgClipFactor); it rate-limits stale
+	// residual dumps from intermittently selected clients.
+	DGCMsgClip float64
+}
+
+// DefaultConfig returns the configuration behind the paper's headline
+// numbers: k ≤ 5 of 10 clients, τ = 0.5, 5 warm-up rounds, 4x–210x ratios.
+func DefaultConfig() Config {
+	return Config{
+		K:           5,
+		Tau:         0.3,
+		Utility:     DefaultUtility(),
+		Compression: DefaultController(),
+		ExploreFrac: 0.8,
+		AsyncAlpha:  0.6,
+		AsyncAnchor: 0.2,
+		AsyncDecay:  0.5,
+		DGCMomentum: 0,
+		DGCClip:     10,
+		DGCMsgClip:  2,
+	}
+}
+
+// ScaleRatiosForModel adjusts the compression bounds to the gradient-skew
+// regime of the model in use. The paper's 4x–210x ladder presumes the
+// heavy-tailed gradient spectra of deep CNNs, where the top fraction of a
+// per-round delta carries most of its mass; for the small dense models the
+// fast experiment presets use, the spectra are flat and the same ratios
+// would discard most of the update. dim is the model's parameter count:
+// below smallModelDim the MaxRatio is capped at maxForSmall.
+func (c *Config) ScaleRatiosForModel(dim int) {
+	const smallModelDim = 100000
+	const maxForSmall = 10
+	if dim < smallModelDim && c.Compression.MaxRatio > maxForSmall {
+		c.Compression.MaxRatio = maxForSmall
+	}
+	if c.Compression.MinRatio > c.Compression.MaxRatio {
+		c.Compression.MinRatio = c.Compression.MaxRatio
+	}
+}
+
+// AttachDGC installs a fresh per-client DGC codec on every client of the
+// federation (AdaFL's compression builds on DGC; each client needs its own
+// accumulator state).
+func (c Config) AttachDGC(fed *fl.Federation) {
+	for _, cl := range fed.Clients {
+		cl.Codec = &compress.DGC{
+			Momentum:      c.DGCMomentum,
+			ClipNorm:      c.DGCClip,
+			MsgClipFactor: c.DGCMsgClip,
+		}
+	}
+}
+
+// SyncPlanner is AdaFL's adaptive node selection for the synchronous
+// engine. Each round it scores every client by equation 6 using the
+// client's cached local delta against the previous global delta and the
+// client's current link bandwidths, applies Algorithm 1, and assigns
+// rank-based compression ratios.
+//
+// During warm-up all clients participate at the warm-up ratio, letting the
+// global model absorb every data distribution before specialising.
+type SyncPlanner struct {
+	Cfg Config
+	// Perf, when non-nil, records utility-score and compression cycle
+	// counts against the given device profile (the overhead experiment).
+	Perf        *device.PerfMonitor
+	PerfProfile device.Profile
+
+	// RatioStats tracks the spread of assigned ratios for the tables.
+	RatioStats RatioTracker
+
+	// lastSel records the round each client last participated, for the
+	// ExploreFrac fairness reservation.
+	lastSel []int
+}
+
+// NewSyncPlanner returns a planner with the given configuration.
+func NewSyncPlanner(cfg Config) *SyncPlanner {
+	cfg.Compression.Validate()
+	return &SyncPlanner{Cfg: cfg}
+}
+
+// Plan implements fl.RoundPlanner.
+func (p *SyncPlanner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
+	n := len(e.Fed.Clients)
+	if p.lastSel == nil {
+		p.lastSel = make([]int, n)
+		for i := range p.lastSel {
+			p.lastSel[i] = -1
+		}
+	}
+	if p.Cfg.Compression.InWarmup(round) || tensor.Norm2(e.LastGlobalDelta) == 0 {
+		out := make([]fl.Participation, 0, n)
+		ratio := p.Cfg.Compression.WarmupRatio
+		for i := 0; i < n; i++ {
+			out = append(out, fl.Participation{Client: i, Ratio: ratio})
+			p.RatioStats.Observe(ratio)
+			p.lastSel[i] = round
+			if p.Perf != nil {
+				p.Perf.Record("dgc-encode",
+					p.PerfProfile.CyclesForFLOPs(device.DGCEncodeFLOPs(len(e.Global))))
+			}
+		}
+		return out
+	}
+
+	scores := make([]float64, n)
+	for i, c := range e.Fed.Clients {
+		up, down := e.Fed.Net.Bandwidths(i, e.Now())
+		local := c.LastDelta
+		if local == nil {
+			local = e.LastGlobalDelta // untried client: score as aligned
+		}
+		scores[i] = p.Cfg.Utility.Score(up, down, local, e.LastGlobalDelta)
+		if p.Perf != nil {
+			p.Perf.Record("utility-score",
+				p.PerfProfile.CyclesForFLOPs(device.UtilityScoreFLOPs(len(local))))
+		}
+	}
+
+	// Reserve part of the budget for the least-recently-selected clients,
+	// keeping the rest for pure Algorithm 1 top-score selection.
+	reserve := int(math.Ceil(p.Cfg.ExploreFrac * float64(p.Cfg.K)))
+	if reserve > p.Cfg.K {
+		reserve = p.Cfg.K
+	}
+	var selected []ScoredClient
+	if kTop := p.Cfg.K - reserve; kTop >= 1 {
+		selected = SelectClients(scores, kTop, p.Cfg.Tau)
+	}
+	chosen := make(map[int]bool, p.Cfg.K)
+	for _, sc := range selected {
+		chosen[sc.Client] = true
+	}
+	for slot := 0; slot < reserve; slot++ {
+		// Pick the unchosen client idle the longest (ties → lowest id).
+		best := -1
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			if best == -1 || p.lastSel[i] < p.lastSel[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		chosen[best] = true
+		selected = append(selected, ScoredClient{Client: best, Score: scores[best]})
+	}
+
+	out := make([]fl.Participation, 0, len(selected))
+	for rank, sc := range selected {
+		ratio := p.Cfg.Compression.RatioForRank(rank, len(selected), round)
+		out = append(out, fl.Participation{Client: sc.Client, Ratio: ratio})
+		p.RatioStats.Observe(ratio)
+		p.lastSel[sc.Client] = round
+		if p.Perf != nil {
+			p.Perf.Record("dgc-encode",
+				p.PerfProfile.CyclesForFLOPs(device.DGCEncodeFLOPs(len(e.LastGlobalDelta))))
+		}
+	}
+	return out
+}
+
+// AsyncGate is AdaFL's client-side utility gating for the asynchronous
+// engine: after local training, the client scores its own delta against
+// the last global delta; below-threshold updates are withheld (the client
+// idles until the next global model) and transmitted updates are
+// compressed according to the score.
+type AsyncGate struct {
+	Cfg Config
+	// Perf mirrors SyncPlanner.Perf.
+	Perf        *device.PerfMonitor
+	PerfProfile device.Profile
+
+	RatioStats RatioTracker
+	decisions  int
+	skipped    int
+}
+
+// NewAsyncGate returns a gate with the given configuration.
+func NewAsyncGate(cfg Config) *AsyncGate {
+	cfg.Compression.Validate()
+	return &AsyncGate{Cfg: cfg}
+}
+
+// SkipRate reports the fraction of training completions that were withheld.
+func (g *AsyncGate) SkipRate() float64 {
+	if g.decisions == 0 {
+		return 0
+	}
+	return float64(g.skipped) / float64(g.decisions)
+}
+
+// Decide implements fl.AsyncGate.
+func (g *AsyncGate) Decide(e *fl.AsyncEngine, client int, delta []float64) (bool, float64) {
+	g.decisions++
+	// Warm-up: every update flows, lightly compressed.
+	if g.Cfg.Compression.InWarmup(e.Version) || tensor.Norm2(e.LastGlobalDelta) == 0 {
+		ratio := g.Cfg.Compression.WarmupRatio
+		g.RatioStats.Observe(ratio)
+		if g.Perf != nil {
+			g.Perf.Record("dgc-encode",
+				g.PerfProfile.CyclesForFLOPs(device.DGCEncodeFLOPs(len(delta))))
+		}
+		return true, ratio
+	}
+	up, down := e.Fed.Net.Bandwidths(client, e.Now())
+	score := g.Cfg.Utility.Score(up, down, delta, e.LastGlobalDelta)
+	if g.Perf != nil {
+		g.Perf.Record("utility-score",
+			g.PerfProfile.CyclesForFLOPs(device.UtilityScoreFLOPs(len(delta))))
+	}
+	if score < g.Cfg.Tau {
+		g.skipped++
+		return false, 0
+	}
+	ratio := g.Cfg.Compression.RatioForScore(score, e.Version)
+	g.RatioStats.Observe(ratio)
+	if g.Perf != nil {
+		g.Perf.Record("dgc-encode",
+			g.PerfProfile.CyclesForFLOPs(device.DGCEncodeFLOPs(len(delta))))
+	}
+	return true, ratio
+}
+
+// AsyncApply is AdaFL's fully-asynchronous server step: every received
+// (gated, compressed) update is applied immediately — "the server upgrades
+// its global model each time it receives a gradient update". The update
+// combines the client's sparse delta (scaled by Alpha) with a mild anchor
+// pull toward the model version the client trained from (scaled by
+// Anchor); both coefficients decay polynomially with staleness. The anchor
+// term damps the drift that pure delta application accumulates when many
+// clients race, without the full model-mixing of FedAsync that washes out
+// minority (non-IID) contributions.
+type AsyncApply struct {
+	Alpha  float64
+	Anchor float64
+	Decay  float64
+}
+
+// Name implements fl.AsyncStrategy.
+func (AsyncApply) Name() string { return "adafl-async" }
+
+// OnReceive implements fl.AsyncStrategy.
+func (a AsyncApply) OnReceive(global, downloaded []float64, u fl.Update) bool {
+	d := 1.0
+	if a.Decay > 0 {
+		d = math.Pow(1+float64(u.Staleness), -a.Decay)
+	}
+	step := a.Alpha * d
+	u.Delta.AddTo(global, step)
+	if a.Anchor > 0 && downloaded != nil {
+		anchor := a.Anchor * d
+		for i := range global {
+			global[i] += anchor * (downloaded[i] - global[i])
+		}
+	}
+	return true
+}
+
+// RatioTracker records the spread of compression ratios AdaFL assigned,
+// feeding the "Gradient Size" and "Compress. Ratio" table columns.
+type RatioTracker struct {
+	Count    int
+	MinRatio float64
+	MaxRatio float64
+	sum      float64
+}
+
+// Observe records one assigned ratio.
+func (t *RatioTracker) Observe(r float64) {
+	if t.Count == 0 || r < t.MinRatio {
+		t.MinRatio = r
+	}
+	if t.Count == 0 || r > t.MaxRatio {
+		t.MaxRatio = r
+	}
+	t.sum += r
+	t.Count++
+}
+
+// Mean returns the average assigned ratio.
+func (t *RatioTracker) Mean() float64 {
+	if t.Count == 0 {
+		return 0
+	}
+	return t.sum / float64(t.Count)
+}

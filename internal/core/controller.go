@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CompressionController maps a client's utility ranking (or raw score) and
+// the current round to a DGC compression ratio. High-utility clients are
+// compressed lightly (down to MinRatio) to preserve information; low-utility
+// clients aggressively (up to MaxRatio). During the warm-up phase every
+// client uses WarmupRatio so the model initialises from rich updates.
+type CompressionController struct {
+	// MinRatio and MaxRatio bound the byte-level compression factor
+	// (paper: 4x .. 210x sync, 4x .. 105x async).
+	MinRatio, MaxRatio float64
+	// WarmupRounds is the length of the warm-up phase.
+	WarmupRounds int
+	// WarmupRatio is the (low) compression used during warm-up.
+	WarmupRatio float64
+}
+
+// DefaultController returns the sync-table configuration (4x–210x).
+func DefaultController() CompressionController {
+	return CompressionController{MinRatio: 4, MaxRatio: 210, WarmupRounds: 5, WarmupRatio: 1}
+}
+
+// Validate panics on nonsensical configurations.
+func (c CompressionController) Validate() {
+	if c.MinRatio < 1 || c.MaxRatio < c.MinRatio {
+		panic(fmt.Sprintf("core: invalid compression bounds [%v, %v]", c.MinRatio, c.MaxRatio))
+	}
+	if c.WarmupRatio < 1 {
+		panic("core: warm-up ratio below 1")
+	}
+}
+
+// InWarmup reports whether round is still in the warm-up phase.
+func (c CompressionController) InWarmup(round int) bool { return round < c.WarmupRounds }
+
+// RatioForRank interpolates geometrically between MinRatio (rank 0, the
+// highest-utility client) and MaxRatio (rank total-1). total must be ≥ 1.
+func (c CompressionController) RatioForRank(rank, total, round int) float64 {
+	c.Validate()
+	if c.InWarmup(round) {
+		return c.WarmupRatio
+	}
+	if total <= 1 || c.MaxRatio == c.MinRatio {
+		return c.MinRatio
+	}
+	t := float64(rank) / float64(total-1)
+	return c.MinRatio * math.Pow(c.MaxRatio/c.MinRatio, t)
+}
+
+// RatioForScore maps a utility score s ∈ [0, 1] to a ratio: score 1 →
+// MinRatio, score 0 → MaxRatio, geometric in between. Used by the
+// asynchronous gate, where there is no simultaneous ranking.
+func (c CompressionController) RatioForScore(s float64, round int) float64 {
+	c.Validate()
+	if c.InWarmup(round) {
+		return c.WarmupRatio
+	}
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return c.MinRatio * math.Pow(c.MaxRatio/c.MinRatio, 1-s)
+}

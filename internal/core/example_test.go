@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"fmt"
+
+	"adafl/internal/core"
+)
+
+// ExampleSelectClients demonstrates Algorithm 1: threshold-filter by τ,
+// rank by utility score, keep the top K.
+func ExampleSelectClients() {
+	scores := []float64{0.91, 0.22, 0.74, 0.55, 0.43}
+	for _, sc := range core.SelectClients(scores, 2, 0.5) {
+		fmt.Printf("client %d (score %.2f)\n", sc.Client, sc.Score)
+	}
+	// Output:
+	// client 0 (score 0.91)
+	// client 2 (score 0.74)
+}
+
+// ExampleUtilityConfig_Score shows the utility score combining gradient
+// similarity with link bandwidth (equation 6).
+func ExampleUtilityConfig_Score() {
+	u := core.DefaultUtility()
+	globalDelta := []float64{1, 0, 0}
+
+	aligned := []float64{2, 0, 0}  // same direction as ĝ
+	opposed := []float64{-1, 0, 0} // opposite direction
+	fastLink := 2.5e6              // saturates the bandwidth term
+	slowLink := 1e4
+
+	fmt.Printf("aligned/fast : %.2f\n", u.Score(fastLink, fastLink, aligned, globalDelta))
+	fmt.Printf("aligned/slow : %.2f\n", u.Score(slowLink, slowLink, aligned, globalDelta))
+	fmt.Printf("opposed/fast : %.2f\n", u.Score(fastLink, fastLink, opposed, globalDelta))
+	// Output:
+	// aligned/fast : 1.00
+	// aligned/slow : 0.93
+	// opposed/fast : 0.20
+}
+
+// ExampleCompressionController shows the rank-based adaptive ratio ladder:
+// the highest-utility client compresses least.
+func ExampleCompressionController() {
+	c := core.DefaultController() // 4x .. 210x, 5 warm-up rounds
+	round := 20                   // past warm-up
+	for rank := 0; rank < 3; rank++ {
+		fmt.Printf("rank %d -> %.0fx\n", rank, c.RatioForRank(rank, 3, round))
+	}
+	// Output:
+	// rank 0 -> 4x
+	// rank 1 -> 29x
+	// rank 2 -> 210x
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"adafl/internal/compress"
+	"adafl/internal/dataset"
+	"adafl/internal/device"
+	"adafl/internal/fl"
+	"adafl/internal/netsim"
+	"adafl/internal/nn"
+	"adafl/internal/stats"
+)
+
+// newFed builds a fast AdaFL-ready federation over SynthMNIST 16×16 with
+// an image MLP.
+func newFed(numClients int, iid bool, seed uint64) *fl.Federation {
+	ds := dataset.SynthMNIST(800, 16, seed)
+	train, test := ds.Split(0.8, seed+1)
+	var parts []*dataset.Dataset
+	if iid {
+		parts = dataset.PartitionIID(train, numClients, seed+2)
+	} else {
+		parts = dataset.PartitionShards(train, numClients, 2, seed+2)
+	}
+	net := netsim.UniformNetwork(numClients, netsim.WiFiLink, seed+3)
+	newModel := func() *nn.Model {
+		return nn.NewImageMLP([]int{1, 16, 16}, []int{32}, 10, stats.NewRNG(seed+4))
+	}
+	cfg := fl.TrainConfig{LocalSteps: 4, BatchSize: 16, LR: 0.1, Momentum: 0.9}
+	return fl.NewFederation(parts, test, net, newModel, cfg, seed+5)
+}
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Compression.WarmupRounds = 3
+	// The fast federation uses a ~9k-parameter MLP whose gradient spectrum
+	// is flat; scale the ratio ladder accordingly (see ScaleRatiosForModel).
+	cfg.ScaleRatiosForModel(9000)
+	return cfg
+}
+
+func TestSyncAdaFLLearns(t *testing.T) {
+	fed := newFed(10, false, 1)
+	cfg := fastConfig()
+	cfg.AttachDGC(fed)
+	planner := NewSyncPlanner(cfg)
+	e := fl.NewSyncEngine(fed, fl.FedAvg{}, planner, 2)
+	e.EvalEvery = 5
+	initAcc, _ := fed.Evaluate(e.Global)
+	e.RunRounds(35)
+	if acc := e.Hist.FinalAcc(); acc < initAcc+0.3 {
+		t.Fatalf("AdaFL sync did not learn: %v -> %v", initAcc, acc)
+	}
+}
+
+func TestSyncAdaFLSelectsAtMostK(t *testing.T) {
+	fed := newFed(10, false, 2)
+	cfg := fastConfig()
+	cfg.AttachDGC(fed)
+	planner := NewSyncPlanner(cfg)
+	e := fl.NewSyncEngine(fed, fl.FedAvg{}, planner, 3)
+	e.RunRounds(cfg.Compression.WarmupRounds) // exit warm-up
+	for round := 0; round < 5; round++ {
+		parts := planner.Plan(e.Round(), e)
+		if len(parts) > cfg.K {
+			t.Fatalf("round %d selected %d > K=%d", round, len(parts), cfg.K)
+		}
+		e.RunRound()
+	}
+}
+
+func TestSyncAdaFLWarmupIsFullParticipation(t *testing.T) {
+	fed := newFed(8, true, 3)
+	cfg := fastConfig()
+	cfg.AttachDGC(fed)
+	planner := NewSyncPlanner(cfg)
+	e := fl.NewSyncEngine(fed, fl.FedAvg{}, planner, 4)
+	parts := planner.Plan(0, e)
+	if len(parts) != 8 {
+		t.Fatalf("warm-up planned %d of 8 clients", len(parts))
+	}
+	for _, p := range parts {
+		if p.Ratio != cfg.Compression.WarmupRatio {
+			t.Fatalf("warm-up ratio %v", p.Ratio)
+		}
+	}
+}
+
+func TestSyncAdaFLReducesCommunication(t *testing.T) {
+	seed := uint64(4)
+	rounds := 50
+
+	base := newFed(10, false, seed)
+	eBase := fl.NewSyncEngine(base, fl.FedAvg{}, fl.NewFixedRatePlanner(0.5, 1, 5), 6)
+	eBase.RunRounds(rounds)
+
+	ada := newFed(10, false, seed)
+	cfg := fastConfig()
+	cfg.AttachDGC(ada)
+	eAda := fl.NewSyncEngine(ada, fl.FedAvg{}, NewSyncPlanner(cfg), 6)
+	eAda.RunRounds(rounds)
+
+	if eAda.TotalUplinkBytes() >= eBase.TotalUplinkBytes()/2 {
+		t.Fatalf("AdaFL bytes %d not <50%% of baseline %d",
+			eAda.TotalUplinkBytes(), eBase.TotalUplinkBytes())
+	}
+	// And it must still learn comparably (within 20 points of baseline —
+	// single-seed accuracy on the small test split is noisy; the bench
+	// harness averages seeds and lands within a few points).
+	if eAda.Hist.FinalAcc() < eBase.Hist.FinalAcc()-0.20 {
+		t.Fatalf("AdaFL accuracy %v collapsed vs baseline %v",
+			eAda.Hist.FinalAcc(), eBase.Hist.FinalAcc())
+	}
+}
+
+func TestSyncAdaFLRatioSpread(t *testing.T) {
+	fed := newFed(10, false, 7)
+	cfg := fastConfig()
+	cfg.AttachDGC(fed)
+	planner := NewSyncPlanner(cfg)
+	e := fl.NewSyncEngine(fed, fl.FedAvg{}, planner, 8)
+	e.RunRounds(15)
+	tr := planner.RatioStats
+	if tr.Count == 0 {
+		t.Fatal("no ratios observed")
+	}
+	if tr.MinRatio > cfg.Compression.WarmupRatio {
+		t.Fatalf("min ratio %v above warm-up", tr.MinRatio)
+	}
+	if tr.MaxRatio <= cfg.Compression.MinRatio {
+		t.Fatalf("max ratio %v never exceeded MinRatio — no adaptation", tr.MaxRatio)
+	}
+}
+
+func TestAsyncAdaFLLearnsAndGates(t *testing.T) {
+	fed := newFed(6, false, 9)
+	cfg := fastConfig()
+	cfg.AttachDGC(fed)
+	gate := NewAsyncGate(cfg)
+	e := fl.NewAsyncEngine(fed, AsyncApply{Alpha: cfg.AsyncAlpha, Anchor: cfg.AsyncAnchor, Decay: cfg.AsyncDecay}, gate)
+	initAcc, _ := fed.Evaluate(e.Global)
+	e.Run(30)
+	if e.TotalUpdates() == 0 {
+		t.Fatal("no updates received")
+	}
+	if acc := e.Hist.FinalAcc(); acc < initAcc+0.25 {
+		t.Fatalf("AdaFL async did not learn: %v -> %v", initAcc, acc)
+	}
+}
+
+func TestAsyncGateSkipsLowUtility(t *testing.T) {
+	fed := newFed(4, false, 10)
+	cfg := fastConfig()
+	cfg.Tau = 0.95 // nearly impossible threshold after warm-up
+	cfg.AttachDGC(fed)
+	gate := NewAsyncGate(cfg)
+	e := fl.NewAsyncEngine(fed, AsyncApply{Alpha: 0.5, Decay: 0.5}, gate)
+	e.Run(30)
+	if gate.SkipRate() == 0 {
+		t.Fatal("strict threshold never skipped an update")
+	}
+}
+
+func TestAsyncApplyStalenessDiscount(t *testing.T) {
+	a := AsyncApply{Alpha: 1, Decay: 1}
+	freshGlobal := []float64{0}
+	staleGlobal := []float64{0}
+	u := fl.Update{Delta: compress.NewSparseDense([]float64{1}), Staleness: 0}
+	a.OnReceive(freshGlobal, nil, u)
+	u.Staleness = 9
+	a.OnReceive(staleGlobal, nil, u)
+	if math.Abs(freshGlobal[0]-1) > 1e-12 {
+		t.Fatalf("fresh step %v", freshGlobal[0])
+	}
+	if math.Abs(staleGlobal[0]-0.1) > 1e-12 {
+		t.Fatalf("stale step %v, want 0.1", staleGlobal[0])
+	}
+}
+
+func TestPerfAccountingRecordsUtilityCycles(t *testing.T) {
+	fed := newFed(5, true, 11)
+	cfg := fastConfig()
+	cfg.AttachDGC(fed)
+	planner := NewSyncPlanner(cfg)
+	planner.Perf = device.NewPerfMonitor()
+	planner.PerfProfile = device.RaspberryPi4
+	e := fl.NewSyncEngine(fed, fl.FedAvg{}, planner, 12)
+	e.RunRounds(8)
+	if planner.Perf.Get("utility-score") == 0 {
+		t.Fatal("no utility cycles recorded")
+	}
+	if planner.Perf.Get("dgc-encode") == 0 {
+		t.Fatal("no compression cycles recorded")
+	}
+	if planner.Perf.Get("dgc-encode") <= planner.Perf.Get("utility-score") {
+		t.Fatal("DGC should cost more cycles than utility scoring")
+	}
+}

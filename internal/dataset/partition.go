@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"adafl/internal/stats"
+)
+
+// PartitionIID shuffles the dataset and splits it into numClients shards of
+// (nearly) equal size, so every client's label distribution matches the
+// global one in expectation.
+func PartitionIID(ds *Dataset, numClients int, seed uint64) []*Dataset {
+	if numClients <= 0 {
+		panic("dataset: non-positive client count")
+	}
+	perm := stats.NewRNG(seed).Perm(ds.Len())
+	out := make([]*Dataset, numClients)
+	for c := 0; c < numClients; c++ {
+		lo := c * ds.Len() / numClients
+		hi := (c + 1) * ds.Len() / numClients
+		out[c] = ds.Subset(perm[lo:hi])
+	}
+	return out
+}
+
+// PartitionShards implements the McMahan et al. non-IID split: samples are
+// sorted by label, cut into numClients*shardsPerClient contiguous shards,
+// and each client receives shardsPerClient random shards. With
+// shardsPerClient=2 most clients see only ~2 classes.
+func PartitionShards(ds *Dataset, numClients, shardsPerClient int, seed uint64) []*Dataset {
+	if numClients <= 0 || shardsPerClient <= 0 {
+		panic("dataset: invalid shard partition parameters")
+	}
+	totalShards := numClients * shardsPerClient
+	if ds.Len() < totalShards {
+		panic(fmt.Sprintf("dataset: %d samples cannot form %d shards", ds.Len(), totalShards))
+	}
+	// Sort indices by label (stable on original order for determinism).
+	byLabel := make([]int, ds.Len())
+	for i := range byLabel {
+		byLabel[i] = i
+	}
+	sort.SliceStable(byLabel, func(a, b int) bool { return ds.Labels[byLabel[a]] < ds.Labels[byLabel[b]] })
+
+	shardPerm := stats.NewRNG(seed).Perm(totalShards)
+	out := make([]*Dataset, numClients)
+	for c := 0; c < numClients; c++ {
+		var indices []int
+		for s := 0; s < shardsPerClient; s++ {
+			shard := shardPerm[c*shardsPerClient+s]
+			lo := shard * ds.Len() / totalShards
+			hi := (shard + 1) * ds.Len() / totalShards
+			indices = append(indices, byLabel[lo:hi]...)
+		}
+		out[c] = ds.Subset(indices)
+	}
+	return out
+}
+
+// PartitionDirichlet assigns each sample to a client by drawing, per class,
+// a client-proportion vector from Dirichlet(alpha). Small alpha produces
+// extreme label skew; large alpha approaches IID.
+func PartitionDirichlet(ds *Dataset, numClients int, alpha float64, seed uint64) []*Dataset {
+	if numClients <= 0 {
+		panic("dataset: non-positive client count")
+	}
+	r := stats.NewRNG(seed)
+	// Collect indices per class.
+	perClass := make([][]int, ds.Classes)
+	for i, l := range ds.Labels {
+		perClass[l] = append(perClass[l], i)
+	}
+	clientIdx := make([][]int, numClients)
+	for _, indices := range perClass {
+		if len(indices) == 0 {
+			continue
+		}
+		r.Shuffle(len(indices), func(i, j int) { indices[i], indices[j] = indices[j], indices[i] })
+		props := r.Dirichlet(alpha, numClients)
+		// Convert proportions to contiguous cut points over this class.
+		start := 0
+		for c := 0; c < numClients; c++ {
+			take := int(props[c] * float64(len(indices)))
+			if c == numClients-1 {
+				take = len(indices) - start
+			}
+			take = min(take, len(indices)-start)
+			clientIdx[c] = append(clientIdx[c], indices[start:start+take]...)
+			start += take
+		}
+	}
+	out := make([]*Dataset, numClients)
+	for c := 0; c < numClients; c++ {
+		out[c] = ds.Subset(clientIdx[c])
+	}
+	return out
+}
+
+// SkewStat quantifies label skew of a partition as the mean total-variation
+// distance between each client's label distribution and the global one
+// (0 = perfectly IID, →1 = disjoint labels).
+func SkewStat(global *Dataset, parts []*Dataset) float64 {
+	gCounts := global.ClassCounts()
+	gDist := make([]float64, len(gCounts))
+	for i, c := range gCounts {
+		gDist[i] = float64(c) / float64(global.Len())
+	}
+	total := 0.0
+	counted := 0
+	for _, p := range parts {
+		if p.Len() == 0 {
+			continue
+		}
+		tv := 0.0
+		for i, c := range p.ClassCounts() {
+			tv += abs(float64(c)/float64(p.Len()) - gDist[i])
+		}
+		total += tv / 2
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

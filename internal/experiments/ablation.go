@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adafl/internal/core"
+	"adafl/internal/fl"
+	"adafl/internal/trace"
+)
+
+// AblationResult quantifies the design choices DESIGN.md calls out:
+// similarity metric, warm-up length, fixed vs adaptive compression, the
+// bandwidth term, and the fairness reservation.
+type AblationResult struct {
+	// Variants maps variant name → (final accuracy, uplink bytes).
+	Acc   map[string]float64
+	Bytes map[string]int64
+	Table *trace.Table
+}
+
+// AblationVariant names a configuration mutation.
+type AblationVariant struct {
+	Name   string
+	Mutate func(cfg *core.Config)
+}
+
+// AblationVariants returns the studied variants (first entry is the
+// reference configuration).
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{Name: "adafl (reference)", Mutate: func(*core.Config) {}},
+		{Name: "similarity=L2", Mutate: func(c *core.Config) { c.Utility.Metric = core.NegL2 }},
+		{Name: "warmup=0", Mutate: func(c *core.Config) { c.Compression.WarmupRounds = 0 }},
+		{Name: "warmup=10", Mutate: func(c *core.Config) { c.Compression.WarmupRounds = 10 }},
+		{Name: "fixed-ratio", Mutate: func(c *core.Config) {
+			mid := c.Compression.MinRatio
+			c.Compression.MinRatio = mid
+			c.Compression.MaxRatio = mid
+		}},
+		{Name: "no-bandwidth-term", Mutate: func(c *core.Config) {
+			c.Utility.SimWeight, c.Utility.BwWeight = 1, 0
+		}},
+		{Name: "no-exploration", Mutate: func(c *core.Config) { c.ExploreFrac = 0 }},
+		{Name: "explore=0.4", Mutate: func(c *core.Config) { c.ExploreFrac = 0.4 }},
+		{Name: "round-robin", Mutate: func(c *core.Config) { c.ExploreFrac = 1 }},
+	}
+}
+
+// RunVariant executes one ablation variant on synchronous non-IID MNIST,
+// returning the averaged learning curve and run statistics.
+func RunVariant(p Preset, v AblationVariant) (Curve, RunStats) {
+	return runSyncSeeds(p.Seeds, p.Rounds, func(seed uint64) *fl.SyncEngine {
+		fed := p.Federation(MNISTTask, false, seed)
+		cfg := p.AdaFLConfig(MNISTTask, 210)
+		v.Mutate(&cfg)
+		cfg.AttachDGC(fed)
+		e := fl.NewSyncEngine(fed, fl.FedAvg{}, core.NewSyncPlanner(cfg), seed+6)
+		e.EvalEvery = p.EvalEvery
+		return e
+	})
+}
+
+// RunAblations executes every variant on non-IID MNIST.
+func RunAblations(p Preset, w io.Writer) *AblationResult {
+	res := &AblationResult{Acc: map[string]float64{}, Bytes: map[string]int64{}}
+	t := trace.NewTable(fmt.Sprintf("Ablations (scale=%s, non-IID MNIST)", p.Scale),
+		"Variant", "Final acc", "Uplink bytes")
+	for _, v := range AblationVariants() {
+		_, stats := RunVariant(p, v)
+		res.Acc[v.Name] = stats.FinalAcc
+		res.Bytes[v.Name] = stats.UplinkBytes
+		t.AddRow(v.Name, fmt.Sprintf("%.1f%%", 100*stats.FinalAcc), fmtBytes(int(stats.UplinkBytes)))
+	}
+	res.Table = t
+	if w != nil {
+		t.Render(w)
+	}
+	return res
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adafl/internal/compress"
+	"adafl/internal/fl"
+	"adafl/internal/stats"
+	"adafl/internal/trace"
+)
+
+// CodecResult compares the gradient codecs (the model-level related-work
+// baselines) on two axes: single-shot reconstruction error on a real
+// gradient, and end-to-end FL accuracy at a matched byte budget.
+type CodecResult struct {
+	// Err maps codec → one-shot relative L2 error at the reference ratio.
+	Err map[string]float64
+	// Acc / Bytes map codec → end-to-end accuracy and uplink volume.
+	Acc   map[string]float64
+	Bytes map[string]int64
+	Table *trace.Table
+}
+
+// codecUnderTest pairs a display name with a per-client codec factory.
+type codecUnderTest struct {
+	name string
+	make func(seed uint64) compress.Codec
+	// ratio is the requested compression ratio (ignored by fixed-rate
+	// quantizers).
+	ratio float64
+}
+
+func codecsUnderTest() []codecUnderTest {
+	return []codecUnderTest{
+		{"identity", func(uint64) compress.Codec { return compress.Identity{} }, 1},
+		{"topk@8x", func(uint64) compress.Codec { return compress.TopK{} }, 8},
+		{"randomk@8x", func(seed uint64) compress.Codec { return compress.NewRandomK(stats.NewRNG(seed)) }, 8},
+		{"dgc@8x", func(uint64) compress.Codec { return &compress.DGC{ClipNorm: 10, MsgClipFactor: 2} }, 8},
+		{"qsgd-4bit", func(seed uint64) compress.Codec { return compress.NewQSGD(7, stats.NewRNG(seed)) }, 0},
+		{"terngrad", func(seed uint64) compress.Codec { return compress.NewTernGrad(stats.NewRNG(seed)) }, 0},
+	}
+}
+
+// RunCodecs executes the codec comparison on non-IID MNIST.
+func RunCodecs(p Preset, w io.Writer) *CodecResult {
+	res := &CodecResult{Err: map[string]float64{}, Acc: map[string]float64{}, Bytes: map[string]int64{}}
+
+	// One-shot error: encode a genuine first-round gradient.
+	fed := p.Federation(MNISTTask, false, p.Seeds[0])
+	global := fed.NewModel().ParamVector()
+	delta, _ := fed.Clients[0].TrainRound(global, nil)
+	for _, c := range codecsUnderTest() {
+		res.Err[c.name] = compress.ErrorNorm(c.make(12345), delta, c.ratio)
+	}
+
+	// End-to-end: full participation, FedAvg, each codec at its ratio.
+	for _, c := range codecsUnderTest() {
+		c := c
+		_, stats := runSyncSeeds(p.Seeds, p.Rounds, func(seed uint64) *fl.SyncEngine {
+			f := p.Federation(MNISTTask, false, seed)
+			for i, cl := range f.Clients {
+				cl.Codec = c.make(seed + uint64(i)*31)
+			}
+			e := fl.NewSyncEngine(f, fl.FedAvg{}, fl.NewFixedRatePlanner(1, c.ratio, seed+8), seed+6)
+			e.EvalEvery = p.EvalEvery
+			return e
+		})
+		res.Acc[c.name] = stats.FinalAcc
+		res.Bytes[c.name] = stats.UplinkBytes
+	}
+
+	t := trace.NewTable(fmt.Sprintf("Codec comparison (scale=%s, non-IID MNIST, full participation)", p.Scale),
+		"Codec", "One-shot rel. error", "Final acc", "Uplink bytes")
+	for _, c := range codecsUnderTest() {
+		t.AddRow(c.name,
+			fmt.Sprintf("%.3f", res.Err[c.name]),
+			fmt.Sprintf("%.1f%%", 100*res.Acc[c.name]),
+			fmtBytes(int(res.Bytes[c.name])))
+	}
+	res.Table = t
+	if w != nil {
+		t.Render(w)
+	}
+	return res
+}

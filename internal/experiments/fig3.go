@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adafl/internal/fl"
+	"adafl/internal/trace"
+)
+
+// Fig3Result reproduces Figure 3: AdaFL vs baselines on MNIST, four panels
+// — (a) sync IID, (b) sync non-IID (accuracy vs round), (c) async IID,
+// (d) async non-IID (accuracy vs simulated time).
+type Fig3Result struct {
+	Panels []*trace.Figure
+	// FinalAcc[panel][method] records each method's endpoint accuracy.
+	FinalAcc []map[string]float64
+}
+
+// RunFig3 executes the comparison at the given preset.
+func RunFig3(p Preset, w io.Writer) *Fig3Result {
+	res := &Fig3Result{}
+	task := MNISTTask
+
+	panels := []struct {
+		name  string
+		iid   bool
+		async bool
+	}{
+		{"Fig3(a) sync IID", true, false},
+		{"Fig3(b) sync non-IID", false, false},
+		{"Fig3(c) async IID", true, true},
+		{"Fig3(d) async non-IID", false, true},
+	}
+	for _, panel := range panels {
+		xlabel := "round"
+		if panel.async {
+			xlabel = "time (s)"
+		}
+		fig := trace.NewFigure(panel.name, xlabel, "test accuracy")
+		finals := map[string]float64{}
+		if !panel.async {
+			for _, m := range SyncMethods() {
+				m := m
+				curve, _ := runSyncSeeds(p.Seeds, p.Rounds, func(seed uint64) *fl.SyncEngine {
+					return m.Build(p, task, panel.iid, seed)
+				})
+				curve.ToSeries(fig, m.Name)
+				finals[m.Name] = curve.Final()
+			}
+		} else {
+			for _, m := range AsyncMethods() {
+				m := m
+				curve, _ := runAsyncSeeds(p.Seeds, p.AsyncHorizon, func(seed uint64) *fl.AsyncEngine {
+					return m.Build(p, task, panel.iid, seed)
+				})
+				curve.ToSeries(fig, m.Name)
+				finals[m.Name] = curve.Final()
+			}
+		}
+		res.Panels = append(res.Panels, fig)
+		res.FinalAcc = append(res.FinalAcc, finals)
+	}
+
+	if w != nil {
+		for i, fig := range res.Panels {
+			fig.RenderASCII(w, 64, 12)
+			fmt.Fprintf(w, "  finals: %v\n\n", res.FinalAcc[i])
+		}
+	}
+	return res
+}

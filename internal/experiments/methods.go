@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"adafl/internal/core"
+	"adafl/internal/fl"
+)
+
+// SyncMethod is one row of Table I: a named builder producing a ready
+// synchronous engine for a (task, distribution, seed).
+type SyncMethod struct {
+	Name  string
+	Build func(p Preset, task Task, iid bool, seed uint64) *fl.SyncEngine
+	// AdaFL reports whether this is the adaptive method (its table row
+	// carries the dynamic participation/ratio columns).
+	AdaFL bool
+}
+
+// SyncMethods returns the paper's synchronous lineup: FedAvg, FedAdam,
+// FedProx, SCAFFOLD at participation rate 0.5, and AdaFL.
+func SyncMethods() []SyncMethod {
+	rate := 0.5
+	return []SyncMethod{
+		{Name: "FedAvg", Build: func(p Preset, task Task, iid bool, seed uint64) *fl.SyncEngine {
+			fed := p.Federation(task, iid, seed)
+			e := fl.NewSyncEngine(fed, fl.FedAvg{}, fl.NewFixedRatePlanner(rate, 1, seed+8), seed+6)
+			e.EvalEvery = p.EvalEvery
+			return e
+		}},
+		{Name: "FedAdam", Build: func(p Preset, task Task, iid bool, seed uint64) *fl.SyncEngine {
+			fed := p.Federation(task, iid, seed)
+			e := fl.NewSyncEngine(fed, fl.NewFedAdam(0.02), fl.NewFixedRatePlanner(rate, 1, seed+8), seed+6)
+			e.EvalEvery = p.EvalEvery
+			return e
+		}},
+		{Name: "FedProx", Build: func(p Preset, task Task, iid bool, seed uint64) *fl.SyncEngine {
+			fed := p.Federation(task, iid, seed)
+			for _, c := range fed.Clients {
+				c.Cfg.ProxMu = 0.01
+			}
+			e := fl.NewSyncEngine(fed, fl.FedAvg{}, fl.NewFixedRatePlanner(rate, 1, seed+8), seed+6)
+			e.EvalEvery = p.EvalEvery
+			return e
+		}},
+		{Name: "SCAFFOLD", Build: func(p Preset, task Task, iid bool, seed uint64) *fl.SyncEngine {
+			fed := p.Federation(task, iid, seed)
+			for _, c := range fed.Clients {
+				c.Cfg.Scaffold = true
+				// SCAFFOLD's control-variate derivation assumes plain SGD;
+				// client momentum inflates c_i by ~1/(1-m) and diverges.
+				c.Cfg.Momentum = 0
+			}
+			e := fl.NewSyncEngine(fed, fl.NewScaffold(1, p.Clients), fl.NewFixedRatePlanner(rate, 1, seed+8), seed+6)
+			e.EvalEvery = p.EvalEvery
+			return e
+		}},
+		{Name: "AdaFL", AdaFL: true, Build: func(p Preset, task Task, iid bool, seed uint64) *fl.SyncEngine {
+			fed := p.Federation(task, iid, seed)
+			cfg := p.AdaFLConfig(task, 210)
+			cfg.AttachDGC(fed)
+			e := fl.NewSyncEngine(fed, fl.FedAvg{}, core.NewSyncPlanner(cfg), seed+6)
+			e.EvalEvery = p.EvalEvery
+			return e
+		}},
+	}
+}
+
+// AsyncMethod is one row of Table II.
+type AsyncMethod struct {
+	Name  string
+	Build func(p Preset, task Task, iid bool, seed uint64) *fl.AsyncEngine
+	AdaFL bool
+}
+
+// AsyncMethods returns the asynchronous lineup: FedAsync and FedBuff at
+// the paper's fixed participation rate 0.5 (half the clients are active),
+// and fully-asynchronous AdaFL with utility gating over all clients.
+func AsyncMethods() []AsyncMethod {
+	return []AsyncMethod{
+		{Name: "FedAsync", Build: func(p Preset, task Task, iid bool, seed uint64) *fl.AsyncEngine {
+			fed := p.Federation(task, iid, seed)
+			e := fl.NewAsyncEngine(fed, fl.FedAsync{Alpha: 0.5, Decay: 0.5}, fl.AlwaysUpload{})
+			e.EvalInterval = float64(p.EvalEvery)
+			e.Inactive = halfInactive(p.Clients, seed)
+			return e
+		}},
+		{Name: "FedBuff", Build: func(p Preset, task Task, iid bool, seed uint64) *fl.AsyncEngine {
+			fed := p.Federation(task, iid, seed)
+			e := fl.NewAsyncEngine(fed, fl.NewFedBuff(3, 1), fl.AlwaysUpload{})
+			e.EvalInterval = float64(p.EvalEvery)
+			e.Inactive = halfInactive(p.Clients, seed)
+			return e
+		}},
+		{Name: "AdaFL", AdaFL: true, Build: func(p Preset, task Task, iid bool, seed uint64) *fl.AsyncEngine {
+			fed := p.Federation(task, iid, seed)
+			cfg := p.AdaFLConfig(task, 105)
+			cfg.AttachDGC(fed)
+			gate := core.NewAsyncGate(cfg)
+			e := fl.NewAsyncEngine(fed, core.AsyncApply{Alpha: cfg.AsyncAlpha, Anchor: cfg.AsyncAnchor, Decay: cfg.AsyncDecay}, gate)
+			e.EvalInterval = float64(p.EvalEvery)
+			return e
+		}},
+	}
+}
+
+// halfInactive deactivates half the clients, reproducing the baselines'
+// fixed participation rate r_p = 0.5.
+func halfInactive(n int, seed uint64) map[int]bool {
+	return unreliableSet(n, 0.5, seed+99)
+}
+
+// DenseFedAsyncAllActive builds the normalisation baseline for Table II's
+// cost columns: every client active, dense uploads.
+func DenseFedAsyncAllActive(p Preset, task Task, iid bool, seed uint64) *fl.AsyncEngine {
+	fed := p.Federation(task, iid, seed)
+	e := fl.NewAsyncEngine(fed, fl.FedAsync{Alpha: 0.5, Decay: 0.5}, fl.AlwaysUpload{})
+	e.EvalInterval = float64(p.EvalEvery)
+	return e
+}

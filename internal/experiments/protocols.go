@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adafl/internal/core"
+	"adafl/internal/fl"
+	"adafl/internal/netsim"
+	"adafl/internal/trace"
+)
+
+// ProtocolResult compares protocol-level strategies on a heterogeneous
+// fleet under a shared simulated-time budget: synchronous FedAvg (blocked
+// by stragglers), FedAT's latency tiers, FedAsync, and async AdaFL. This
+// extends the paper's evaluation with the protocol-level related work it
+// discusses (§II).
+type ProtocolResult struct {
+	// AccAtHorizon maps protocol → accuracy at the time budget.
+	AccAtHorizon map[string]float64
+	Bytes        map[string]int64
+	Figure       *trace.Figure
+	Table        *trace.Table
+}
+
+// heterogeneousFleet builds a fleet with a slow third (devices at 1/3
+// speed) and an LTE-constrained third.
+func heterogeneousFleet(p Preset, seed uint64) *fl.Federation {
+	fed := p.Federation(MNISTTask, false, seed)
+	for i, c := range fed.Clients {
+		if i%3 == 1 {
+			c.Device = c.Device.Scaled(1.0 / 3)
+		}
+		if i%3 == 2 {
+			fed.Net.SetLink(i, netsim.LTELink)
+		}
+	}
+	return fed
+}
+
+// RunProtocols executes the protocol comparison.
+func RunProtocols(p Preset, w io.Writer) *ProtocolResult {
+	res := &ProtocolResult{AccAtHorizon: map[string]float64{}, Bytes: map[string]int64{}}
+	horizon := p.AsyncHorizon
+	fig := trace.NewFigure(fmt.Sprintf("Protocols on a heterogeneous fleet (scale=%s)", p.Scale),
+		"time (s)", "test accuracy")
+
+	// Synchronous FedAvg: run rounds until the simulated clock passes the
+	// horizon (stragglers stretch every round).
+	{
+		var curves []Curve
+		var bytes int64
+		for _, seed := range p.Seeds {
+			fed := heterogeneousFleet(p, seed)
+			e := fl.NewSyncEngine(fed, fl.FedAvg{}, fl.NewFixedRatePlanner(1, 1, seed+8), seed+6)
+			e.EvalEvery = 1
+			for e.Now() < horizon && e.Round() < 10*p.Rounds {
+				e.RunRound()
+			}
+			curves = append(curves, asyncCurve(&e.Hist)) // x = sim time
+			bytes = e.TotalUplinkBytes()
+		}
+		curve := averageCurves(curves)
+		curve.ToSeries(fig, "FedAvg(sync)")
+		res.AccAtHorizon["FedAvg(sync)"] = curve.Final()
+		res.Bytes["FedAvg(sync)"] = bytes
+	}
+
+	// FedAT: latency tiers.
+	{
+		var curves []Curve
+		var bytes int64
+		for _, seed := range p.Seeds {
+			fed := heterogeneousFleet(p, seed)
+			e := fl.NewFedATEngine(fed, 3, 0.5)
+			e.EvalInterval = float64(p.EvalEvery)
+			e.Run(horizon)
+			curves = append(curves, asyncCurve(&e.Hist))
+			bytes = e.TotalUplinkBytes()
+		}
+		curve := averageCurves(curves)
+		curve.ToSeries(fig, "FedAT")
+		res.AccAtHorizon["FedAT"] = curve.Final()
+		res.Bytes["FedAT"] = bytes
+	}
+
+	// FedAsync.
+	{
+		var curves []Curve
+		var bytes int64
+		for _, seed := range p.Seeds {
+			fed := heterogeneousFleet(p, seed)
+			e := fl.NewAsyncEngine(fed, fl.FedAsync{Alpha: 0.5, Decay: 0.5}, fl.AlwaysUpload{})
+			e.EvalInterval = float64(p.EvalEvery)
+			e.Run(horizon)
+			curves = append(curves, asyncCurve(&e.Hist))
+			bytes = e.TotalUplinkBytes()
+		}
+		curve := averageCurves(curves)
+		curve.ToSeries(fig, "FedAsync")
+		res.AccAtHorizon["FedAsync"] = curve.Final()
+		res.Bytes["FedAsync"] = bytes
+	}
+
+	// AdaFL (fully async, gated + compressed).
+	{
+		var curves []Curve
+		var bytes int64
+		for _, seed := range p.Seeds {
+			fed := heterogeneousFleet(p, seed)
+			cfg := p.AdaFLConfig(MNISTTask, 105)
+			cfg.AttachDGC(fed)
+			gate := core.NewAsyncGate(cfg)
+			e := fl.NewAsyncEngine(fed, core.AsyncApply{Alpha: cfg.AsyncAlpha, Anchor: cfg.AsyncAnchor, Decay: cfg.AsyncDecay}, gate)
+			e.EvalInterval = float64(p.EvalEvery)
+			e.Run(horizon)
+			curves = append(curves, asyncCurve(&e.Hist))
+			bytes = e.TotalUplinkBytes()
+		}
+		curve := averageCurves(curves)
+		curve.ToSeries(fig, "AdaFL")
+		res.AccAtHorizon["AdaFL"] = curve.Final()
+		res.Bytes["AdaFL"] = bytes
+	}
+
+	res.Figure = fig
+	t := trace.NewTable("Protocol comparison at equal time budget",
+		"Protocol", "Acc @ horizon", "Uplink bytes")
+	for _, name := range []string{"FedAvg(sync)", "FedAT", "FedAsync", "AdaFL"} {
+		t.AddRow(name,
+			fmt.Sprintf("%.1f%%", 100*res.AccAtHorizon[name]),
+			fmtBytes(int(res.Bytes[name])))
+	}
+	res.Table = t
+	if w != nil {
+		fig.RenderASCII(w, 64, 12)
+		t.Render(w)
+	}
+	return res
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"adafl/internal/fl"
+	"adafl/internal/trace"
+)
+
+func TestAverageCurves(t *testing.T) {
+	a := Curve{X: []float64{1, 2, 3}, Y: []float64{0.1, 0.2, 0.3}}
+	b := Curve{X: []float64{1, 2, 3}, Y: []float64{0.3, 0.4, 0.5}}
+	avg := averageCurves([]Curve{a, b})
+	want := []float64{0.2, 0.3, 0.4}
+	for i, w := range want {
+		if math.Abs(avg.Y[i]-w) > 1e-12 {
+			t.Fatalf("avg[%d] = %v, want %v", i, avg.Y[i], w)
+		}
+	}
+	if avg.X[2] != 3 {
+		t.Fatal("x positions not preserved")
+	}
+}
+
+func TestAverageCurvesRagged(t *testing.T) {
+	a := Curve{X: []float64{1, 2, 3}, Y: []float64{1, 1, 1}}
+	b := Curve{X: []float64{1, 2}, Y: []float64{3, 3}}
+	avg := averageCurves([]Curve{a, b})
+	if len(avg.X) != 2 {
+		t.Fatalf("ragged average length %d, want 2 (shortest)", len(avg.X))
+	}
+	if avg.Y[0] != 2 {
+		t.Fatalf("ragged average value %v", avg.Y[0])
+	}
+}
+
+func TestAverageCurvesEmpty(t *testing.T) {
+	avg := averageCurves(nil)
+	if avg.Final() != 0 || len(avg.X) != 0 {
+		t.Fatal("empty average not zero")
+	}
+}
+
+func TestCurveToSeriesAndFinal(t *testing.T) {
+	c := Curve{X: []float64{1, 2}, Y: []float64{0.5, 0.9}}
+	fig := trace.NewFigure("t", "x", "y")
+	c.ToSeries(fig, "s")
+	if fig.Series[0].Len() != 2 {
+		t.Fatal("series not filled")
+	}
+	if c.Final() != 0.9 {
+		t.Fatalf("Final = %v", c.Final())
+	}
+}
+
+func TestSyncAndAsyncCurveExtraction(t *testing.T) {
+	h := &fl.History{}
+	h.Add(fl.RoundStats{Round: 1, Time: 0.5, TestAcc: math.NaN()})
+	h.Add(fl.RoundStats{Round: 2, Time: 1.0, TestAcc: 0.4})
+	h.Add(fl.RoundStats{Round: 3, Time: 1.5, TestAcc: 0.6})
+	sc := syncCurve(h)
+	if len(sc.X) != 2 || sc.X[0] != 2 || sc.Y[1] != 0.6 {
+		t.Fatalf("sync curve %+v", sc)
+	}
+	ac := asyncCurve(h)
+	if len(ac.X) != 2 || ac.X[0] != 1.0 {
+		t.Fatalf("async curve %+v", ac)
+	}
+}
+
+func TestUnreliableSetSizeAndDeterminism(t *testing.T) {
+	a := unreliableSet(10, 0.2, 7)
+	if len(a) != 2 {
+		t.Fatalf("size %d, want 2", len(a))
+	}
+	b := unreliableSet(10, 0.2, 7)
+	for k := range a {
+		if !b[k] {
+			t.Fatal("unreliable set not deterministic")
+		}
+	}
+	if len(unreliableSet(10, 0, 7)) != 0 {
+		t.Fatal("zero fraction produced members")
+	}
+}
+
+func TestRunSyncSeedsAveragesStats(t *testing.T) {
+	p := tinyPreset()
+	p.Rounds = 3
+	p.Seeds = []uint64{1, 2}
+	curve, stats := runSyncSeeds(p.Seeds, p.Rounds, func(seed uint64) *fl.SyncEngine {
+		fed := p.Federation(MNISTTask, true, seed)
+		e := fl.NewSyncEngine(fed, fl.FedAvg{}, fl.NewFixedRatePlanner(1, 1, seed), seed)
+		e.EvalEvery = 1
+		return e
+	})
+	if len(curve.X) != 3 {
+		t.Fatalf("curve length %d", len(curve.X))
+	}
+	if stats.Updates != 3*p.Clients {
+		t.Fatalf("averaged updates %d, want %d", stats.Updates, 3*p.Clients)
+	}
+	if stats.UplinkBytes == 0 || stats.FinalAcc == 0 {
+		t.Fatal("stats not populated")
+	}
+}

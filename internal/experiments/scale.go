@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adafl/internal/core"
+	"adafl/internal/dataset"
+	"adafl/internal/fl"
+	"adafl/internal/netsim"
+	"adafl/internal/trace"
+)
+
+// ScaleResult reproduces the §V scalability claim: AdaFL remains robust
+// from 20 to 100 clients, still saving communication vs FedAvg.
+type ScaleResult struct {
+	ClientCounts []int
+	// AdaAcc/BaseAcc and AdaBytes/BaseBytes are indexed by client count.
+	AdaAcc, BaseAcc     []float64
+	AdaBytes, BaseBytes []int64
+	Table               *trace.Table
+}
+
+// RunScale executes the scalability sweep.
+func RunScale(p Preset, w io.Writer) *ScaleResult {
+	res := &ScaleResult{ClientCounts: []int{20, 50, 100}}
+	if p.Scale == Tiny {
+		res.ClientCounts = []int{20, 50}
+	}
+
+	// Large-N sweeps cap the round budget: the point is robustness across
+	// federation sizes, not long-horizon convergence.
+	rounds := p.Rounds
+	if rounds > 30 {
+		rounds = 30
+	}
+
+	build := func(n int, ada bool, seed uint64) *fl.SyncEngine {
+		q := p
+		q.Clients = n
+		// Keep per-client shard sizes sensible as N grows.
+		if q.Samples < n*60 {
+			q.Samples = n * 60
+		}
+		ds := q.NewDataset(MNISTTask, seed)
+		train, test := ds.Split(0.8, seed+1)
+		parts := dataset.PartitionShards(train, n, 2, seed+2)
+		net := netsim.UniformNetwork(n, netsim.WiFiLink, seed+3)
+		fed := fl.NewFederation(parts, test, net, q.NewModelFactory(MNISTTask, seed+4), q.Train, seed+5)
+		if ada {
+			cfg := q.AdaFLConfig(MNISTTask, 210)
+			// K scales with the federation: the paper keeps k ≤ N/2.
+			cfg.K = n / 2
+			cfg.AttachDGC(fed)
+			e := fl.NewSyncEngine(fed, fl.FedAvg{}, core.NewSyncPlanner(cfg), seed+6)
+			e.EvalEvery = q.EvalEvery
+			return e
+		}
+		e := fl.NewSyncEngine(fed, fl.FedAvg{}, fl.NewFixedRatePlanner(0.5, 1, seed+8), seed+6)
+		e.EvalEvery = q.EvalEvery
+		return e
+	}
+
+	for _, n := range res.ClientCounts {
+		n := n
+		_, adaStats := runSyncSeeds(p.Seeds, rounds, func(seed uint64) *fl.SyncEngine {
+			return build(n, true, seed)
+		})
+		_, baseStats := runSyncSeeds(p.Seeds, rounds, func(seed uint64) *fl.SyncEngine {
+			return build(n, false, seed)
+		})
+		res.AdaAcc = append(res.AdaAcc, adaStats.FinalAcc)
+		res.BaseAcc = append(res.BaseAcc, baseStats.FinalAcc)
+		res.AdaBytes = append(res.AdaBytes, adaStats.UplinkBytes)
+		res.BaseBytes = append(res.BaseBytes, baseStats.UplinkBytes)
+	}
+
+	t := trace.NewTable(fmt.Sprintf("Scalability (scale=%s, non-IID MNIST)", p.Scale),
+		"Clients", "FedAvg acc", "AdaFL acc", "FedAvg uplink", "AdaFL uplink", "Saving")
+	for i, n := range res.ClientCounts {
+		saving := 1 - float64(res.AdaBytes[i])/float64(res.BaseBytes[i])
+		t.AddRow(n,
+			fmt.Sprintf("%.1f%%", 100*res.BaseAcc[i]),
+			fmt.Sprintf("%.1f%%", 100*res.AdaAcc[i]),
+			fmtBytes(int(res.BaseBytes[i])),
+			fmtBytes(int(res.AdaBytes[i])),
+			fmt.Sprintf("%.0f%%", 100*saving))
+	}
+	res.Table = t
+	if w != nil {
+		t.Render(w)
+	}
+	return res
+}

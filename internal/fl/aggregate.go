@@ -1,0 +1,213 @@
+package fl
+
+import (
+	"math"
+
+	"adafl/internal/nn"
+	"adafl/internal/tensor"
+)
+
+// Aggregator combines the updates received in one synchronous round into
+// the global model vector (mutated in place).
+type Aggregator interface {
+	Name() string
+	Apply(global []float64, updates []Update)
+}
+
+// FedAvg is weighted model averaging (McMahan et al.): the global model
+// moves to the data-weighted mean of the participants' local models.
+type FedAvg struct{}
+
+// Name implements Aggregator.
+func (FedAvg) Name() string { return "fedavg" }
+
+// Apply implements Aggregator.
+func (FedAvg) Apply(global []float64, updates []Update) {
+	if len(updates) == 0 {
+		return
+	}
+	totalW := 0.0
+	for _, u := range updates {
+		totalW += u.Weight
+	}
+	if totalW == 0 {
+		return
+	}
+	for _, u := range updates {
+		u.Delta.AddTo(global, u.Weight/totalW)
+	}
+}
+
+// FedAdam applies server-side Adam (Reddi et al.) to the averaged client
+// delta, treated as a pseudo-gradient.
+type FedAdam struct {
+	adam *nn.Adam
+}
+
+// NewFedAdam returns a FedAdam aggregator with server learning rate lr.
+func NewFedAdam(lr float64) *FedAdam {
+	return &FedAdam{adam: nn.NewAdam(lr, 0, 0, 0)}
+}
+
+// Name implements Aggregator.
+func (*FedAdam) Name() string { return "fedadam" }
+
+// Apply implements Aggregator.
+func (f *FedAdam) Apply(global []float64, updates []Update) {
+	if len(updates) == 0 {
+		return
+	}
+	totalW := 0.0
+	for _, u := range updates {
+		totalW += u.Weight
+	}
+	if totalW == 0 {
+		return
+	}
+	avg := make([]float64, len(global))
+	for _, u := range updates {
+		u.Delta.AddTo(avg, u.Weight/totalW)
+	}
+	// Pseudo-gradient is the negated average delta; DirectionVec returns
+	// the descent step −lr·m̂/(√v̂+ε), which then moves along +Δ.
+	for i := range avg {
+		avg[i] = -avg[i]
+	}
+	step := f.adam.DirectionVec(avg)
+	tensor.Axpy(1, step, global)
+}
+
+// Scaffold is the server half of SCAFFOLD (Karimireddy et al.): unweighted
+// averaging of client deltas with a global learning rate, plus maintenance
+// of the server control variate c.
+type Scaffold struct {
+	// GlobalLR is the server step size η_g (1.0 in the paper's default).
+	GlobalLR float64
+	// NumClients is the federation size N, used to scale the control
+	// variate update by |S|/N.
+	NumClients int
+
+	c []float64
+}
+
+// NewScaffold returns the SCAFFOLD server state for a federation of n
+// clients.
+func NewScaffold(globalLR float64, n int) *Scaffold {
+	return &Scaffold{GlobalLR: globalLR, NumClients: n}
+}
+
+// Name implements Aggregator.
+func (*Scaffold) Name() string { return "scaffold" }
+
+// C returns the server control variate, lazily sized to dim. The engine
+// hands it to clients before each round.
+func (s *Scaffold) C(dim int) []float64 {
+	if s.c == nil {
+		s.c = make([]float64, dim)
+	}
+	return s.c
+}
+
+// Apply implements Aggregator.
+func (s *Scaffold) Apply(global []float64, updates []Update) {
+	if len(updates) == 0 {
+		return
+	}
+	inv := 1 / float64(len(updates))
+	for _, u := range updates {
+		u.Delta.AddTo(global, s.GlobalLR*inv)
+	}
+	// c ← c + |S|/N · mean(Δc_i)
+	cc := s.C(len(global))
+	scale := float64(len(updates)) / float64(s.NumClients) * inv
+	for _, u := range updates {
+		if u.CtrlDelta == nil {
+			continue
+		}
+		tensor.Axpy(scale, u.CtrlDelta, cc)
+	}
+}
+
+// AsyncStrategy processes updates one at a time as they arrive at the
+// asynchronous server.
+type AsyncStrategy interface {
+	Name() string
+	// OnReceive applies one arriving update. downloaded is the global
+	// parameter snapshot the client trained from. It reports whether the
+	// global model version advanced (FedBuff only advances on flush).
+	OnReceive(global []float64, downloaded []float64, u Update) bool
+}
+
+// FedAsync is asynchronous federated optimization (Xie et al.): on each
+// arrival the server mixes the client model in with a staleness-decayed
+// factor α_s = Alpha · (1+staleness)^(−Decay).
+type FedAsync struct {
+	// Alpha is the base mixing weight.
+	Alpha float64
+	// Decay is the polynomial staleness exponent a (0 disables decay).
+	Decay float64
+}
+
+// Name implements AsyncStrategy.
+func (FedAsync) Name() string { return "fedasync" }
+
+// StalenessWeight returns α_s for the given staleness.
+func (f FedAsync) StalenessWeight(staleness int) float64 {
+	w := f.Alpha
+	if f.Decay > 0 {
+		w *= math.Pow(1+float64(staleness), -f.Decay)
+	}
+	return w
+}
+
+// OnReceive implements AsyncStrategy.
+func (f FedAsync) OnReceive(global, downloaded []float64, u Update) bool {
+	alpha := f.StalenessWeight(u.Staleness)
+	// w ← (1−α)w + α·(w_downloaded + Δ)
+	clientModel := tensor.CopyVec(downloaded)
+	u.Delta.AddTo(clientModel, 1)
+	for i := range global {
+		global[i] = (1-alpha)*global[i] + alpha*clientModel[i]
+	}
+	return true
+}
+
+// FedBuff is buffered asynchronous aggregation (Nguyen et al.): deltas
+// accumulate in a size-K buffer; when full, their average is applied with
+// server learning rate Eta.
+type FedBuff struct {
+	// K is the buffer size.
+	K int
+	// Eta is the server learning rate applied to the buffered average.
+	Eta float64
+
+	buf [][]float64
+}
+
+// NewFedBuff returns a FedBuff server with buffer size k.
+func NewFedBuff(k int, eta float64) *FedBuff {
+	if k <= 0 {
+		panic("fl: FedBuff buffer size must be positive")
+	}
+	return &FedBuff{K: k, Eta: eta}
+}
+
+// Name implements AsyncStrategy.
+func (*FedBuff) Name() string { return "fedbuff" }
+
+// Buffered returns the current buffer occupancy.
+func (f *FedBuff) Buffered() int { return len(f.buf) }
+
+// OnReceive implements AsyncStrategy.
+func (f *FedBuff) OnReceive(global, _ []float64, u Update) bool {
+	f.buf = append(f.buf, u.Delta.Dense())
+	if len(f.buf) < f.K {
+		return false
+	}
+	inv := f.Eta / float64(len(f.buf))
+	for _, d := range f.buf {
+		tensor.Axpy(inv, d, global)
+	}
+	f.buf = f.buf[:0]
+	return true
+}

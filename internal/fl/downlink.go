@@ -1,0 +1,66 @@
+package fl
+
+import (
+	"adafl/internal/compress"
+	"adafl/internal/tensor"
+)
+
+// DownlinkCompressor extends the framework beyond the paper: the paper's
+// AdaFL compresses only client→server gradients, while the server still
+// broadcasts the dense global model every round. This compressor tracks a
+// per-client replica of what each client last received and ships only the
+// top-k of the replica's lag (global − replica), with a periodic dense
+// resync. The untransmitted remainder stays in the lag — server-side
+// error feedback — so replicas converge to the global model over rounds.
+//
+// Clients then train from their (slightly stale) replica instead of the
+// exact global model, which is precisely the approximation real downlink
+// compression introduces.
+type DownlinkCompressor struct {
+	// Ratio is the byte-level compression target for delta broadcasts.
+	Ratio float64
+	// DenseEvery forces a full-model broadcast every k rounds (and on a
+	// client's first contact). 0 disables resync.
+	DenseEvery int
+
+	replicas map[int][]float64
+}
+
+// NewDownlinkCompressor returns a compressor with the given delta ratio
+// and dense resync period.
+func NewDownlinkCompressor(ratio float64, denseEvery int) *DownlinkCompressor {
+	if ratio < 1 {
+		panic("fl: downlink ratio below 1")
+	}
+	return &DownlinkCompressor{Ratio: ratio, DenseEvery: denseEvery, replicas: map[int][]float64{}}
+}
+
+// Prepare returns the parameter vector the client will actually receive
+// this round and the broadcast's wire size. The returned slice must be
+// treated as read-only by the caller.
+func (d *DownlinkCompressor) Prepare(client int, global []float64, round int) (replica []float64, wireBytes int) {
+	rep, ok := d.replicas[client]
+	dense := !ok || (d.DenseEvery > 0 && round%d.DenseEvery == 0)
+	if dense {
+		rep = tensor.CopyVec(global)
+		d.replicas[client] = rep
+		return rep, compress.DenseBytes(len(global))
+	}
+	lag := make([]float64, len(global))
+	tensor.SubVec(lag, global, rep)
+	msg := compress.SelectTopK(lag, compress.KForRatio(len(global), d.Ratio))
+	msg.AddTo(rep, 1)
+	return rep, msg.WireBytes()
+}
+
+// ReplicaLag returns ‖global − replica‖ for a client (0 if unknown), for
+// diagnostics and tests.
+func (d *DownlinkCompressor) ReplicaLag(client int, global []float64) float64 {
+	rep, ok := d.replicas[client]
+	if !ok {
+		return 0
+	}
+	diff := make([]float64, len(global))
+	tensor.SubVec(diff, global, rep)
+	return tensor.Norm2(diff)
+}

@@ -1,0 +1,116 @@
+package fl
+
+import (
+	"testing"
+
+	"adafl/internal/compress"
+)
+
+func TestDownlinkFirstContactIsDense(t *testing.T) {
+	d := NewDownlinkCompressor(10, 0)
+	global := []float64{1, 2, 3, 4}
+	rep, bytes := d.Prepare(0, global, 5)
+	if bytes != compress.DenseBytes(4) {
+		t.Fatalf("first contact bytes %d", bytes)
+	}
+	for i := range global {
+		if rep[i] != global[i] {
+			t.Fatal("first contact replica differs from global")
+		}
+	}
+}
+
+func TestDownlinkDeltaIsSmaller(t *testing.T) {
+	d := NewDownlinkCompressor(4, 0)
+	dim := 1000
+	global := make([]float64, dim)
+	d.Prepare(0, global, 1) // dense sync
+	for i := range global {
+		global[i] = float64(i % 7)
+	}
+	_, bytes := d.Prepare(0, global, 2)
+	if bytes >= compress.DenseBytes(dim) {
+		t.Fatalf("delta broadcast %d not below dense %d", bytes, compress.DenseBytes(dim))
+	}
+}
+
+func TestDownlinkReplicaConverges(t *testing.T) {
+	// With a static global model, repeated delta broadcasts must drain the
+	// replica lag to zero (error feedback).
+	d := NewDownlinkCompressor(10, 0)
+	dim := 200
+	global := make([]float64, dim)
+	d.Prepare(0, global, 0)
+	for i := range global {
+		global[i] = float64(i)
+	}
+	prev := d.ReplicaLag(0, global)
+	for round := 1; round < 30; round++ {
+		d.Prepare(0, global, round)
+		lag := d.ReplicaLag(0, global)
+		if lag > prev+1e-9 {
+			t.Fatalf("round %d: lag grew %v -> %v", round, prev, lag)
+		}
+		prev = lag
+	}
+	if prev > 1e-9 {
+		t.Fatalf("lag did not drain: %v", prev)
+	}
+}
+
+func TestDownlinkDenseResync(t *testing.T) {
+	d := NewDownlinkCompressor(1e9, 4) // deltas carry almost nothing
+	dim := 100
+	global := make([]float64, dim)
+	d.Prepare(0, global, 0)
+	for i := range global {
+		global[i] = 5
+	}
+	// Rounds 1-3: starved deltas; round 4: dense resync.
+	for round := 1; round <= 3; round++ {
+		d.Prepare(0, global, round)
+	}
+	if d.ReplicaLag(0, global) == 0 {
+		t.Fatal("starved deltas should leave lag")
+	}
+	_, bytes := d.Prepare(0, global, 4)
+	if bytes != compress.DenseBytes(dim) {
+		t.Fatalf("round 4 not dense: %d", bytes)
+	}
+	if d.ReplicaLag(0, global) != 0 {
+		t.Fatal("dense resync did not clear lag")
+	}
+}
+
+func TestSyncEngineWithDownlinkCompressionLearns(t *testing.T) {
+	seed := uint64(70)
+	dense := newTestFederation(5, true, seed)
+	eDense := NewSyncEngine(dense, FedAvg{}, NewFixedRatePlanner(1, 1, seed+1), seed+2)
+	eDense.EvalEvery = 5
+	eDense.RunRounds(20)
+
+	comp := newTestFederation(5, true, seed)
+	eComp := NewSyncEngine(comp, FedAvg{}, NewFixedRatePlanner(1, 1, seed+1), seed+2)
+	eComp.Downlink = NewDownlinkCompressor(8, 10)
+	eComp.EvalEvery = 5
+	eComp.RunRounds(20)
+
+	denseDown := eDense.Hist.Rows[len(eDense.Hist.Rows)-1].DownlinkBytes
+	compDown := eComp.Hist.Rows[len(eComp.Hist.Rows)-1].DownlinkBytes
+	if compDown >= denseDown/2 {
+		t.Fatalf("downlink compression saved too little: %d vs %d", compDown, denseDown)
+	}
+	if eComp.Hist.FinalAcc() < eDense.Hist.FinalAcc()-0.15 {
+		t.Fatalf("downlink compression broke learning: %v vs %v",
+			eComp.Hist.FinalAcc(), eDense.Hist.FinalAcc())
+	}
+}
+
+func TestDownlinkValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ratio < 1 accepted")
+		}
+	}()
+	NewDownlinkCompressor(0.5, 0)
+}

@@ -1,0 +1,187 @@
+package fl
+
+import (
+	"math"
+	"sort"
+
+	"adafl/internal/compress"
+	"adafl/internal/netsim"
+	"adafl/internal/tensor"
+)
+
+// FedATEngine implements FedAT (Chai et al. 2021), the tiering baseline
+// from the paper's related work: clients are grouped into tiers by their
+// end-to-end round latency; each tier trains synchronously at its own
+// cadence, and the server folds finished tier rounds into the global model
+// asynchronously, weighting slower (less frequently updating) tiers up so
+// stragglers are not drowned out.
+//
+// This reproduction keeps FedAT's two essential mechanisms — latency
+// tiering and inverse-frequency cross-tier weighting — over the same
+// simulated network/device substrate the other engines use.
+type FedATEngine struct {
+	Fed *Federation
+	// NumTiers is the tier count M.
+	NumTiers int
+	// Alpha is the base cross-tier mixing weight.
+	Alpha float64
+	// EvalInterval mirrors AsyncEngine.
+	EvalInterval float64
+
+	Global  []float64
+	Weights []float64
+	Hist    History
+
+	// Tiers lists the client ids of each tier, fastest first.
+	Tiers [][]int
+	// TierUpdates counts completed rounds per tier.
+	TierUpdates []int
+
+	queue     *netsim.EventQueue
+	upBytes   int64
+	downBytes int64
+	deadline  float64
+}
+
+// NewFedATEngine tiers the federation's clients by estimated round
+// latency (compute + dense transfer at time 0) and returns the engine.
+func NewFedATEngine(fed *Federation, numTiers int, alpha float64) *FedATEngine {
+	if numTiers < 1 {
+		panic("fl: FedAT needs at least one tier")
+	}
+	if numTiers > len(fed.Clients) {
+		numTiers = len(fed.Clients)
+	}
+	global := fed.NewModel().ParamVector()
+	e := &FedATEngine{
+		Fed: fed, NumTiers: numTiers, Alpha: alpha, EvalInterval: 1,
+		Global:      global,
+		Weights:     fed.Weights(),
+		TierUpdates: make([]int, numTiers),
+		queue:       netsim.NewEventQueue(),
+	}
+	e.assignTiers()
+	return e
+}
+
+// assignTiers sorts clients by estimated latency and splits them evenly.
+func (e *FedATEngine) assignTiers() {
+	dim := len(e.Global)
+	type lat struct {
+		id int
+		t  float64
+	}
+	lats := make([]lat, len(e.Fed.Clients))
+	for i, c := range e.Fed.Clients {
+		comp := c.ComputeSeconds()
+		l := e.Fed.Net.Link(i)
+		trans := float64(compress.DenseBytes(dim))/l.UpBps +
+			float64(compress.DenseBytes(dim))/l.DownBps + 2*l.LatencyS
+		lats[i] = lat{id: i, t: comp + trans}
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a].t < lats[b].t })
+	e.Tiers = make([][]int, e.NumTiers)
+	for i, l := range lats {
+		tier := i * e.NumTiers / len(lats)
+		e.Tiers[tier] = append(e.Tiers[tier], l.id)
+	}
+}
+
+// TotalUplinkBytes returns cumulative uplink volume.
+func (e *FedATEngine) TotalUplinkBytes() int64 { return e.upBytes }
+
+// Run simulates until the horizon.
+func (e *FedATEngine) Run(horizon float64) {
+	e.deadline = horizon
+	for t := range e.Tiers {
+		e.startTierRound(t, 0)
+	}
+	for t := e.EvalInterval; t <= horizon; t += e.EvalInterval {
+		at := t
+		e.queue.Schedule(at, func() { e.evaluate(at) })
+	}
+	e.queue.RunUntil(horizon)
+}
+
+// startTierRound runs one synchronous round inside tier t starting at
+// time start, scheduling its completion.
+func (e *FedATEngine) startTierRound(tier int, start float64) {
+	if start > e.deadline || len(e.Tiers[tier]) == 0 {
+		return
+	}
+	dim := len(e.Global)
+	snapshot := tensor.CopyVec(e.Global)
+
+	// Every member trains from the snapshot; the tier round lasts as long
+	// as its slowest member.
+	agg := make([]float64, dim)
+	weightSum := 0.0
+	dur := 0.0
+	for _, id := range e.Tiers[tier] {
+		c := e.Fed.Clients[id]
+		dlDur, dlLost := e.Fed.Net.Transfer(id, netsim.Downlink, compress.DenseBytes(dim), start)
+		e.downBytes += int64(compress.DenseBytes(dim))
+		if dlLost {
+			continue
+		}
+		delta, _ := c.TrainRound(snapshot, nil)
+		msg := c.EncodeDelta(delta, 1)
+		ulDur, ulLost := e.Fed.Net.Transfer(id, netsim.Uplink, msg.WireBytes(), start)
+		e.upBytes += int64(msg.WireBytes())
+		total := dlDur + c.ComputeSeconds() + ulDur
+		if total > dur {
+			dur = total
+		}
+		if ulLost {
+			continue
+		}
+		msg.AddTo(agg, e.Weights[id])
+		weightSum += e.Weights[id]
+	}
+	if dur == 0 {
+		dur = e.EvalInterval // a fully-lost round still consumes time
+	}
+	end := start + dur
+	if end > e.deadline {
+		return // round would finish past the horizon
+	}
+	e.queue.Schedule(end, func() {
+		if weightSum > 0 {
+			e.applyTierUpdate(tier, snapshot, agg, weightSum)
+		}
+		e.startTierRound(tier, e.queue.Now())
+	})
+}
+
+// applyTierUpdate folds a finished tier round into the global model with
+// FedAT's inverse-frequency weighting: tiers that update rarely get a
+// larger mixing coefficient.
+func (e *FedATEngine) applyTierUpdate(tier int, snapshot, agg []float64, weightSum float64) {
+	e.TierUpdates[tier]++
+	minUpd := e.TierUpdates[0]
+	for _, u := range e.TierUpdates {
+		if u < minUpd {
+			minUpd = u
+		}
+	}
+	alpha := e.Alpha * float64(minUpd+1) / float64(e.TierUpdates[tier]+1)
+	alpha = math.Min(alpha, e.Alpha)
+	// Tier model = snapshot + weighted-average delta.
+	for i := range e.Global {
+		tierModel := snapshot[i] + agg[i]/weightSum
+		e.Global[i] = (1-alpha)*e.Global[i] + alpha*tierModel
+	}
+}
+
+// evaluate records a history row.
+func (e *FedATEngine) evaluate(t float64) {
+	acc, loss := e.Fed.Evaluate(e.Global)
+	total := 0
+	for _, u := range e.TierUpdates {
+		total += u
+	}
+	e.Hist.Add(RoundStats{
+		Round: total, Time: t, TestAcc: acc, TestLoss: loss,
+		UplinkBytes: e.upBytes, DownlinkBytes: e.downBytes, Updates: total,
+	})
+}

@@ -1,0 +1,100 @@
+package fl
+
+import (
+	"testing"
+
+	"adafl/internal/netsim"
+)
+
+func TestFedATTierAssignment(t *testing.T) {
+	f := newTestFederation(9, true, 40)
+	// Make clients 0..2 slow devices so they land in the slowest tier.
+	for i := 0; i < 3; i++ {
+		f.Clients[i].Device = f.Clients[i].Device.Scaled(0.05)
+	}
+	e := NewFedATEngine(f, 3, 0.5)
+	if len(e.Tiers) != 3 {
+		t.Fatalf("tier count %d", len(e.Tiers))
+	}
+	total := 0
+	seen := map[int]bool{}
+	for _, tier := range e.Tiers {
+		total += len(tier)
+		for _, id := range tier {
+			if seen[id] {
+				t.Fatalf("client %d in two tiers", id)
+			}
+			seen[id] = true
+		}
+	}
+	if total != 9 {
+		t.Fatalf("tiers cover %d clients", total)
+	}
+	slowTier := e.Tiers[len(e.Tiers)-1]
+	for _, id := range slowTier {
+		if id > 2 {
+			t.Fatalf("fast client %d in slowest tier %v", id, slowTier)
+		}
+	}
+}
+
+func TestFedATLearns(t *testing.T) {
+	f := newTestFederation(6, true, 41)
+	slowDevices(f)
+	e := NewFedATEngine(f, 2, 0.5)
+	e.EvalInterval = 5
+	initAcc, _ := f.Evaluate(e.Global)
+	e.Run(20)
+	if e.Hist.FinalAcc() < initAcc+0.3 {
+		t.Fatalf("FedAT did not learn: %v -> %v", initAcc, e.Hist.FinalAcc())
+	}
+	if e.TotalUplinkBytes() == 0 {
+		t.Fatal("no bytes accounted")
+	}
+}
+
+func TestFedATFastTiersUpdateMoreOften(t *testing.T) {
+	f := newTestFederation(8, true, 42)
+	// Slow half of the fleet drastically.
+	slowDevices(f)
+	for i := 4; i < 8; i++ {
+		f.Clients[i].Device = f.Clients[i].Device.Scaled(0.1)
+	}
+	e := NewFedATEngine(f, 2, 0.5)
+	e.Run(20)
+	if e.TierUpdates[0] <= e.TierUpdates[1] {
+		t.Fatalf("fast tier updated %d times vs slow tier %d",
+			e.TierUpdates[0], e.TierUpdates[1])
+	}
+}
+
+func TestFedATStragglersNotBlockFastTier(t *testing.T) {
+	f := newTestFederation(6, true, 43)
+	// One catastophically constrained client.
+	slowDevices(f)
+	f.Net.SetLink(5, netsim.Link{UpBps: 500, DownBps: 500, LatencyS: 2})
+	e := NewFedATEngine(f, 3, 0.5)
+	e.Run(20)
+	// Fast tiers must still have completed multiple rounds despite the
+	// straggler, which is FedAT's point versus plain sync.
+	if e.TierUpdates[0] < 3 {
+		t.Fatalf("fast tier completed only %d rounds", e.TierUpdates[0])
+	}
+}
+
+func TestFedATTierCountClamped(t *testing.T) {
+	f := newTestFederation(2, true, 44)
+	e := NewFedATEngine(f, 10, 0.5)
+	if len(e.Tiers) != 2 {
+		t.Fatalf("tier count not clamped: %d", len(e.Tiers))
+	}
+}
+
+// slowDevices scales the test federation's devices down so simulated tier
+// rounds take ~0.2 s instead of milliseconds, keeping event counts (and
+// real test time) modest.
+func slowDevices(f *Federation) {
+	for _, c := range f.Clients {
+		c.Device = c.Device.Scaled(0.01)
+	}
+}

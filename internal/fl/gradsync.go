@@ -1,0 +1,134 @@
+package fl
+
+import (
+	"math"
+
+	"adafl/internal/compress"
+	"adafl/internal/netsim"
+	"adafl/internal/tensor"
+)
+
+// GradSyncEngine implements distributed synchronous SGD with gradient
+// exchange — the setting Deep Gradient Compression was designed for, as
+// opposed to the FedAvg-style delta exchange of SyncEngine. Every step,
+// each participating client computes ONE mini-batch gradient on the
+// current global model, compresses it (momentum correction is valid here:
+// the codec replaces the optimizer's momentum), and the server applies the
+// weighted aggregate with a plain SGD step.
+//
+// It complements SyncEngine in two ways: it is the reference environment
+// for validating the momentum-correction half of DGC end to end, and it
+// models deployments that synchronise every step (cross-silo training
+// rigs) rather than every local epoch.
+type GradSyncEngine struct {
+	Fed *Federation
+	// LR is the server's SGD step size.
+	LR float64
+	// Ratio is the uplink compression ratio requested from every client.
+	Ratio float64
+	// EvalEvery evaluates every k steps (default 10).
+	EvalEvery int
+
+	Global  []float64
+	Weights []float64
+	Hist    History
+
+	step    int
+	now     float64
+	upBytes int64
+}
+
+// NewGradSyncEngine builds the engine. Clients' codecs are used as-is;
+// install momentum-corrected DGC via AttachGradDGC for the classic setup.
+func NewGradSyncEngine(fed *Federation, lr, ratio float64) *GradSyncEngine {
+	if lr <= 0 {
+		panic("fl: non-positive learning rate")
+	}
+	if ratio < 1 {
+		ratio = 1
+	}
+	return &GradSyncEngine{
+		Fed: fed, LR: lr, Ratio: ratio, EvalEvery: 10,
+		Global:  fed.NewModel().ParamVector(),
+		Weights: fed.Weights(),
+	}
+}
+
+// AttachGradDGC installs momentum-corrected DGC codecs on every client —
+// correct in this engine because raw gradients (not momentum-bearing
+// deltas) are exchanged and the server applies plain SGD.
+func AttachGradDGC(fed *Federation, momentum, clipNorm float64) {
+	for _, c := range fed.Clients {
+		c.Codec = &compress.DGC{Momentum: momentum, ClipNorm: clipNorm}
+	}
+}
+
+// TotalUplinkBytes returns cumulative uplink volume.
+func (e *GradSyncEngine) TotalUplinkBytes() int64 { return e.upBytes }
+
+// Steps returns the number of executed steps.
+func (e *GradSyncEngine) Steps() int { return e.step }
+
+// RunSteps executes n synchronous gradient steps.
+func (e *GradSyncEngine) RunSteps(n int) {
+	for i := 0; i < n; i++ {
+		e.runStep()
+	}
+}
+
+// runStep performs one global SGD step from compressed client gradients.
+func (e *GradSyncEngine) runStep() {
+	dim := len(e.Global)
+	agg := make([]float64, dim)
+	weightSum := 0.0
+	stepDur := 0.0
+	for _, c := range e.Fed.Clients {
+		if c.Data.Len() == 0 {
+			continue
+		}
+		grad := c.BatchGradient(e.Global)
+		msg := c.EncodeDelta(grad, e.Ratio)
+		dur, lost := e.Fed.Net.Transfer(c.ID, netsim.Uplink, msg.WireBytes(), e.now)
+		e.upBytes += int64(msg.WireBytes())
+		if lost {
+			continue
+		}
+		compDur := c.Device.SecondsForFLOPs(c.Model.FLOPsPerSample() *
+			(1 + c.Device.BackwardFactor) * float64(c.Cfg.BatchSize))
+		if d := dur + compDur; d > stepDur {
+			stepDur = d
+		}
+		msg.AddTo(agg, e.Weights[c.ID])
+		weightSum += e.Weights[c.ID]
+	}
+	if weightSum > 0 {
+		tensor.Axpy(-e.LR/weightSum, agg, e.Global)
+	}
+	e.now += stepDur
+	e.step++
+
+	row := RoundStats{
+		Round: e.step, Time: e.now,
+		TestAcc: math.NaN(), TestLoss: math.NaN(),
+		Participants: len(e.Fed.Clients), Received: len(e.Fed.Clients),
+		UplinkBytes: e.upBytes, Updates: e.step * len(e.Fed.Clients),
+	}
+	if e.EvalEvery > 0 && e.step%e.EvalEvery == 0 {
+		row.TestAcc, row.TestLoss = e.Fed.Evaluate(e.Global)
+	}
+	e.Hist.Add(row)
+}
+
+// BatchGradient computes one mini-batch gradient of the client's loss at
+// the given parameters (without updating the local model's training
+// state), in the flat vector layout.
+func (c *Client) BatchGradient(params []float64) []float64 {
+	if c.iter == nil {
+		return make([]float64, len(params))
+	}
+	c.Model.SetParamVector(params)
+	x, labels := c.iter.Next()
+	c.Model.ZeroGrads()
+	c.Model.TrainBatch(x, labels)
+	return c.Model.GradVector()
+}

@@ -1,0 +1,48 @@
+package fl
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSyncEngineDeterministicAcrossGOMAXPROCS verifies the parallel round
+// implementation's core guarantee: results are bit-identical regardless of
+// how many CPUs execute the client fan-out.
+func TestSyncEngineDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) ([]float64, int64) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		f := newTestFederation(6, false, 95)
+		e := NewSyncEngine(f, FedAvg{}, NewFixedRatePlanner(0.5, 1, 96), 97)
+		e.EvalEvery = 0
+		e.RunRounds(8)
+		return e.Global, e.TotalUplinkBytes()
+	}
+	g1, b1 := run(1)
+	g4, b4 := run(4)
+	if b1 != b4 {
+		t.Fatalf("byte accounting differs: %d vs %d", b1, b4)
+	}
+	for i := range g1 {
+		if g1[i] != g4[i] {
+			t.Fatalf("global model differs at %d: %v vs %v", i, g1[i], g4[i])
+		}
+	}
+}
+
+// TestEvaluateDeterministicAcrossGOMAXPROCS does the same for parallel
+// batched evaluation.
+func TestEvaluateDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	f := newTestFederation(2, true, 98)
+	params := f.NewModel().ParamVector()
+	run := func(procs int) (float64, float64) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		return f.Evaluate(params)
+	}
+	a1, l1 := run(1)
+	a4, l4 := run(4)
+	if a1 != a4 || l1 != l4 {
+		t.Fatalf("evaluation differs: (%v,%v) vs (%v,%v)", a1, l1, a4, l4)
+	}
+}

@@ -1,0 +1,28 @@
+package netsim_test
+
+import (
+	"fmt"
+
+	"adafl/internal/netsim"
+)
+
+// ExampleLink_TransferTime shows deterministic transfer-time computation
+// (no jitter/loss RNG supplied).
+func ExampleLink_TransferTime() {
+	link := netsim.Link{UpBps: 1e6, DownBps: 4e6, LatencyS: 0.05}
+	up, _ := link.TransferTime(netsim.Uplink, 2_000_000, 0, nil)
+	down, _ := link.TransferTime(netsim.Downlink, 2_000_000, 0, nil)
+	fmt.Printf("uplink: %.2fs  downlink: %.2fs\n", up, down)
+	// Output: uplink: 2.05s  downlink: 0.55s
+}
+
+// ExampleTrace shows a bandwidth trace degrading a link mid-experiment.
+func ExampleTrace() {
+	link := netsim.Link{UpBps: 1e6, DownBps: 1e6}
+	link.Trace = netsim.NewTrace(netsim.TraceStep{At: 10, Multiplier: 0.25})
+
+	before, _ := link.TransferTime(netsim.Uplink, 1_000_000, 5, nil)
+	after, _ := link.TransferTime(netsim.Uplink, 1_000_000, 15, nil)
+	fmt.Printf("before outage: %.0fs  during: %.0fs\n", before, after)
+	// Output: before outage: 1s  during: 4s
+}

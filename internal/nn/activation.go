@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math"
+
+	"adafl/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	statelessBase
+	mask []bool
+}
+
+// NewReLU returns a rectified-linear activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	var mask []bool
+	if train {
+		mask = make([]bool, len(y.Data))
+	}
+	for i, v := range y.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+		} else if train {
+			mask[i] = true
+		}
+	}
+	if train {
+		r.mask = mask
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn: relu backward before forward")
+	}
+	dx := gradOut.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Tanh applies the hyperbolic tangent elementwise. It is used by the
+// lighter models in the zoo where saturating nonlinearities train more
+// stably at high learning rates.
+type Tanh struct {
+	statelessBase
+	out []float64
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	if train {
+		t.out = y.Data
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if t.out == nil {
+		panic("nn: tanh backward before forward")
+	}
+	dx := gradOut.Clone()
+	for i := range dx.Data {
+		o := t.out[i]
+		dx.Data[i] *= 1 - o*o
+	}
+	return dx
+}

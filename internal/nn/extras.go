@@ -1,0 +1,212 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"adafl/internal/stats"
+	"adafl/internal/tensor"
+)
+
+// AvgPool2D downsamples each channel plane by averaging non-overlapping
+// Size×Size windows (stride = Size).
+type AvgPool2D struct {
+	statelessBase
+	Size int
+
+	inShape []int
+}
+
+// NewAvgPool2D returns an average-pooling layer.
+func NewAvgPool2D(size int) *AvgPool2D {
+	if size <= 0 {
+		panic("nn: non-positive pool size")
+	}
+	return &AvgPool2D{Size: size}
+}
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return fmt.Sprintf("avgpool%dx%d", p.Size, p.Size) }
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: avgpool forward shape %v, want rank 4", x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	s := p.Size
+	if h%s != 0 || w%s != 0 {
+		panic(fmt.Sprintf("nn: avgpool input %dx%d not divisible by %d", h, w, s))
+	}
+	oh, ow := h/s, w/s
+	y := tensor.New(n, c, oh, ow)
+	inv := 1 / float64(s*s)
+	for nc := 0; nc < n*c; nc++ {
+		inPlane := x.Data[nc*h*w:][: h*w : h*w]
+		outPlane := y.Data[nc*oh*ow:][: oh*ow : oh*ow]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := 0.0
+				for ky := 0; ky < s; ky++ {
+					rowOff := (oy*s+ky)*w + ox*s
+					for kx := 0; kx < s; kx++ {
+						sum += inPlane[rowOff+kx]
+					}
+				}
+				outPlane[oy*ow+ox] = sum * inv
+			}
+		}
+	}
+	if train {
+		p.inShape = []int{n, c, h, w}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if p.inShape == nil {
+		panic("nn: avgpool backward before forward")
+	}
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	s := p.Size
+	oh, ow := h/s, w/s
+	dx := tensor.New(n, c, h, w)
+	inv := 1 / float64(s*s)
+	for nc := 0; nc < n*c; nc++ {
+		gPlane := gradOut.Data[nc*oh*ow:][: oh*ow : oh*ow]
+		dxPlane := dx.Data[nc*h*w:][: h*w : h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := gPlane[oy*ow+ox] * inv
+				for ky := 0; ky < s; ky++ {
+					rowOff := (oy*s+ky)*w + ox*s
+					for kx := 0; kx < s; kx++ {
+						dxPlane[rowOff+kx] += g
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Dropout randomly zeroes activations during training with probability P,
+// scaling survivors by 1/(1-P) (inverted dropout) so evaluation needs no
+// rescaling.
+type Dropout struct {
+	statelessBase
+	P   float64
+	rng *stats.RNG
+
+	mask []float64
+}
+
+// NewDropout returns a dropout layer with drop probability p.
+func NewDropout(p float64, rng *stats.RNG) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v out of [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%.2f)", d.P) }
+
+// Forward implements Layer.
+//
+// Evaluation-mode passes leave all layer state untouched (so concurrent
+// eval-mode forwards are safe); the mask from the most recent training
+// pass is kept for Backward.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		return x
+	}
+	y := x.Clone()
+	d.mask = make([]float64, len(y.Data))
+	keep := 1 - d.P
+	scale := 1 / keep
+	for i := range y.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = scale
+			y.Data[i] *= scale
+		} else {
+			y.Data[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return gradOut
+	}
+	dx := gradOut.Clone()
+	for i := range dx.Data {
+		dx.Data[i] *= d.mask[i]
+	}
+	return dx
+}
+
+// LRSchedule adjusts a learning rate over training steps.
+type LRSchedule interface {
+	// LR returns the learning rate for step t (0-based).
+	LR(t int) float64
+}
+
+// ConstantLR keeps the rate fixed.
+type ConstantLR float64
+
+// LR implements LRSchedule.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+// StepDecay multiplies the base rate by Gamma every Every steps.
+type StepDecay struct {
+	Base  float64
+	Gamma float64
+	Every int
+}
+
+// LR implements LRSchedule.
+func (s StepDecay) LR(t int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(t/s.Every))
+}
+
+// CosineDecay anneals the rate from Base to Floor over Horizon steps.
+type CosineDecay struct {
+	Base    float64
+	Floor   float64
+	Horizon int
+}
+
+// LR implements LRSchedule.
+func (c CosineDecay) LR(t int) float64 {
+	if c.Horizon <= 0 || t >= c.Horizon {
+		return c.Floor
+	}
+	frac := float64(t) / float64(c.Horizon)
+	return c.Floor + (c.Base-c.Floor)*0.5*(1+math.Cos(math.Pi*frac))
+}
+
+// ScheduledSGD wraps SGD with a learning-rate schedule.
+type ScheduledSGD struct {
+	SGD      *SGD
+	Schedule LRSchedule
+	step     int
+}
+
+// NewScheduledSGD returns SGD driven by the schedule.
+func NewScheduledSGD(momentum, weightDecay float64, sched LRSchedule) *ScheduledSGD {
+	return &ScheduledSGD{SGD: NewSGD(sched.LR(0), momentum, weightDecay), Schedule: sched}
+}
+
+// Step implements Optimizer.
+func (s *ScheduledSGD) Step(m *Model) {
+	s.SGD.LR = s.Schedule.LR(s.step)
+	s.step++
+	s.SGD.Step(m)
+}

@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"adafl/internal/stats"
+	"adafl/internal/tensor"
+)
+
+func TestAvgPoolForwardKnown(t *testing.T) {
+	x := tensor.FromSlice([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 10, 13, 14,
+		11, 12, 15, 16,
+	}, 1, 1, 4, 4)
+	p := NewAvgPool2D(2)
+	y := p.Forward(x, false)
+	want := []float64{2.5, 6.5, 10.5, 14.5}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("avgpool[%d] = %v, want %v", i, y.Data[i], w)
+		}
+	}
+}
+
+func TestAvgPoolBackwardSpreadsGradient(t *testing.T) {
+	x := tensor.New(1, 1, 2, 2)
+	p := NewAvgPool2D(2)
+	p.Forward(x, true)
+	g := tensor.FromSlice([]float64{8}, 1, 1, 1, 1)
+	dx := p.Backward(g)
+	for i, v := range dx.Data {
+		if v != 2 {
+			t.Fatalf("dx[%d] = %v, want 2", i, v)
+		}
+	}
+}
+
+func TestGradCheckAvgPoolModel(t *testing.T) {
+	r := stats.NewRNG(20)
+	m := NewModel([]int{1, 4, 4}, 2,
+		NewConv2D(1, 2, 3, 1, r),
+		NewAvgPool2D(2),
+		NewTanh(),
+		NewFlatten(),
+		NewDense(2*2*2, 2, r),
+	)
+	numericGradCheck(t, m, 2, 21, 1e-4)
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(0.5, stats.NewRNG(1))
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 4)
+	y := d.Forward(x, false)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout modified input")
+		}
+	}
+}
+
+func TestDropoutTrainKeepsExpectation(t *testing.T) {
+	d := NewDropout(0.3, stats.NewRNG(2))
+	x := tensor.New(1, 1000)
+	x.Fill(1)
+	sum := 0.0
+	n := 200
+	for i := 0; i < n; i++ {
+		y := d.Forward(x, true)
+		for _, v := range y.Data {
+			sum += v
+		}
+	}
+	mean := sum / float64(n*1000)
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("inverted dropout expectation %v, want ~1", mean)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout(0.5, stats.NewRNG(3))
+	x := tensor.New(1, 100)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	g := tensor.New(1, 100)
+	g.Fill(1)
+	dx := d.Backward(g)
+	for i := range y.Data {
+		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatal("backward mask differs from forward mask")
+		}
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=1 accepted")
+		}
+	}()
+	NewDropout(1, stats.NewRNG(1))
+}
+
+func TestStepDecaySchedule(t *testing.T) {
+	s := StepDecay{Base: 1, Gamma: 0.1, Every: 10}
+	if s.LR(0) != 1 || s.LR(9) != 1 {
+		t.Fatal("early steps should keep base")
+	}
+	if math.Abs(s.LR(10)-0.1) > 1e-12 || math.Abs(s.LR(25)-0.01) > 1e-12 {
+		t.Fatalf("decay wrong: %v, %v", s.LR(10), s.LR(25))
+	}
+}
+
+func TestCosineDecaySchedule(t *testing.T) {
+	c := CosineDecay{Base: 1, Floor: 0.1, Horizon: 100}
+	if c.LR(0) != 1 {
+		t.Fatalf("start %v", c.LR(0))
+	}
+	if c.LR(100) != 0.1 || c.LR(200) != 0.1 {
+		t.Fatal("floor not respected")
+	}
+	mid := c.LR(50)
+	if math.Abs(mid-0.55) > 1e-9 {
+		t.Fatalf("midpoint %v, want 0.55", mid)
+	}
+	if !(c.LR(10) > c.LR(50) && c.LR(50) > c.LR(90)) {
+		t.Fatal("not monotone decreasing")
+	}
+}
+
+func TestScheduledSGDUpdatesLR(t *testing.T) {
+	m := NewLogistic(1, 2, stats.NewRNG(4))
+	m.SetParamVector(make([]float64, m.NumParams()))
+	opt := NewScheduledSGD(0, 0, StepDecay{Base: 1, Gamma: 0.5, Every: 1})
+	step := func() float64 {
+		m.ZeroGrads()
+		m.Layers[0].(*Dense).GradW.Fill(1)
+		before := m.ParamVector()[0]
+		opt.Step(m)
+		return before - m.ParamVector()[0]
+	}
+	d0, d1, d2 := step(), step(), step()
+	if math.Abs(d0-1) > 1e-12 || math.Abs(d1-0.5) > 1e-12 || math.Abs(d2-0.25) > 1e-12 {
+		t.Fatalf("scheduled steps %v %v %v", d0, d1, d2)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := stats.NewRNG(5)
+	m := NewMLP(r, 4, 8, 3)
+	var buf bytes.Buffer
+	if err := m.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMLP(stats.NewRNG(99), 4, 8, 3) // different init
+	if err := m2.LoadParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, b := m.ParamVector(), m2.ParamVector()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestLoadRejectsMismatchedModel(t *testing.T) {
+	r := stats.NewRNG(6)
+	m := NewMLP(r, 4, 8, 3)
+	var buf bytes.Buffer
+	if err := m.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := NewMLP(stats.NewRNG(7), 4, 9, 3)
+	if err := other.LoadParams(&buf); err == nil {
+		t.Fatal("mismatched architecture accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	r := stats.NewRNG(8)
+	m := NewLogistic(3, 2, r)
+	path := t.TempDir() + "/ckpt.gob"
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewLogistic(3, 2, stats.NewRNG(9))
+	if err := m2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if m2.ParamVector()[0] != m.ParamVector()[0] {
+		t.Fatal("file round trip failed")
+	}
+}

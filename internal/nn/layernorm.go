@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"adafl/internal/tensor"
+)
+
+// LayerNorm normalises each sample's feature vector to zero mean and unit
+// variance, then applies a learned per-feature affine transform
+// (gain γ, bias β). Unlike BatchNorm it carries no running batch
+// statistics, which makes it the normalisation of choice for federated
+// training: BatchNorm's population statistics diverge across non-IID
+// clients, LayerNorm's per-sample statistics do not.
+//
+// Input shape is (N, D); insert after Flatten or between Dense layers.
+type LayerNorm struct {
+	D   int
+	Eps float64
+
+	Gamma *tensor.Tensor // (D)
+	Beta  *tensor.Tensor // (D)
+
+	GradGamma *tensor.Tensor
+	GradBeta  *tensor.Tensor
+
+	// Cached forward quantities for backward.
+	xhat   *tensor.Tensor
+	invStd []float64
+}
+
+// NewLayerNorm returns a layer normalisation over d features with γ=1,
+// β=0.
+func NewLayerNorm(d int) *LayerNorm {
+	l := &LayerNorm{
+		D: d, Eps: 1e-5,
+		Gamma:     tensor.New(d),
+		Beta:      tensor.New(d),
+		GradGamma: tensor.New(d),
+		GradBeta:  tensor.New(d),
+	}
+	l.Gamma.Fill(1)
+	return l
+}
+
+// Name implements Layer.
+func (l *LayerNorm) Name() string { return fmt.Sprintf("layernorm(%d)", l.D) }
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.D {
+		panic(fmt.Sprintf("nn: layernorm forward shape %v, want (N, %d)", x.Shape(), l.D))
+	}
+	n := x.Dim(0)
+	y := tensor.New(n, l.D)
+	var xhat *tensor.Tensor
+	var invStd []float64
+	if train {
+		xhat = tensor.New(n, l.D)
+		invStd = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		row := x.Data[i*l.D : (i+1)*l.D]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(l.D)
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(l.D)
+		inv := 1 / math.Sqrt(variance+l.Eps)
+		out := y.Data[i*l.D : (i+1)*l.D]
+		for j, v := range row {
+			h := (v - mean) * inv
+			out[j] = h*l.Gamma.Data[j] + l.Beta.Data[j]
+			if train {
+				xhat.Data[i*l.D+j] = h
+			}
+		}
+		if train {
+			invStd[i] = inv
+		}
+	}
+	if train {
+		l.xhat = xhat
+		l.invStd = invStd
+	}
+	return y
+}
+
+// Backward implements Layer. Standard layer-norm gradient: with
+// ĥ = (x−µ)/σ and g' = g·γ,
+// dx = (g' − mean(g') − ĥ·mean(g'·ĥ)) / σ.
+func (l *LayerNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.xhat == nil {
+		panic("nn: layernorm backward before forward")
+	}
+	n := gradOut.Dim(0)
+	dx := tensor.New(n, l.D)
+	for i := 0; i < n; i++ {
+		g := gradOut.Data[i*l.D : (i+1)*l.D]
+		h := l.xhat.Data[i*l.D : (i+1)*l.D]
+		// Parameter gradients.
+		for j := 0; j < l.D; j++ {
+			l.GradGamma.Data[j] += g[j] * h[j]
+			l.GradBeta.Data[j] += g[j]
+		}
+		// Input gradient.
+		meanG, meanGH := 0.0, 0.0
+		for j := 0; j < l.D; j++ {
+			gp := g[j] * l.Gamma.Data[j]
+			meanG += gp
+			meanGH += gp * h[j]
+		}
+		meanG /= float64(l.D)
+		meanGH /= float64(l.D)
+		out := dx.Data[i*l.D : (i+1)*l.D]
+		for j := 0; j < l.D; j++ {
+			gp := g[j] * l.Gamma.Data[j]
+			out[j] = (gp - meanG - h[j]*meanGH) * l.invStd[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LayerNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{l.Gamma, l.Beta} }
+
+// Grads implements Layer.
+func (l *LayerNorm) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.GradGamma, l.GradBeta} }
+
+// FLOPsPerSample implements FLOPCounter.
+func (l *LayerNorm) FLOPsPerSample() float64 { return 5 * float64(l.D) }

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"adafl/internal/stats"
+	"adafl/internal/tensor"
+)
+
+func TestLayerNormForwardNormalises(t *testing.T) {
+	l := NewLayerNorm(4)
+	x := tensor.FromSlice([]float64{1, 2, 3, 4, 10, 10, 10, 10}, 2, 4)
+	y := l.Forward(x, false)
+	// Row 0: zero mean, ~unit variance under γ=1, β=0.
+	mean := 0.0
+	for _, v := range y.Data[:4] {
+		mean += v
+	}
+	if math.Abs(mean/4) > 1e-9 {
+		t.Fatalf("row mean %v, want 0", mean/4)
+	}
+	variance := 0.0
+	for _, v := range y.Data[:4] {
+		variance += v * v
+	}
+	if math.Abs(variance/4-1) > 1e-3 {
+		t.Fatalf("row variance %v, want ~1", variance/4)
+	}
+	// Row 1 is constant: output must be ~0 (no NaN from zero variance).
+	for _, v := range y.Data[4:] {
+		if math.IsNaN(v) || math.Abs(v) > 1e-2 {
+			t.Fatalf("constant row produced %v", v)
+		}
+	}
+}
+
+func TestLayerNormAffine(t *testing.T) {
+	l := NewLayerNorm(2)
+	l.Gamma.Data[0], l.Gamma.Data[1] = 2, 3
+	l.Beta.Data[0], l.Beta.Data[1] = 10, -10
+	x := tensor.FromSlice([]float64{-1, 1}, 1, 2)
+	y := l.Forward(x, false)
+	// ĥ = (-1, 1) (mean 0, var 1), so y = (2·-1+10, 3·1-10).
+	if math.Abs(y.Data[0]-8) > 1e-3 || math.Abs(y.Data[1]+7) > 1e-3 {
+		t.Fatalf("affine output %v", y.Data)
+	}
+}
+
+func TestGradCheckLayerNormModel(t *testing.T) {
+	r := stats.NewRNG(40)
+	m := NewModel([]int{6}, 3,
+		NewDense(6, 8, r),
+		NewLayerNorm(8),
+		NewReLU(),
+		NewDense(8, 3, r),
+	)
+	numericGradCheck(t, m, 3, 41, 1e-4)
+}
+
+func TestLayerNormShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong width accepted")
+		}
+	}()
+	NewLayerNorm(4).Forward(tensor.New(1, 5), false)
+}
+
+func TestLayerNormTrainsInModel(t *testing.T) {
+	r := stats.NewRNG(42)
+	m := NewModel([]int{1, 6, 6}, 4,
+		NewFlatten(),
+		NewDense(36, 24, r),
+		NewLayerNorm(24),
+		NewReLU(),
+		NewDense(24, 4, r),
+	)
+	trainingSmokeTest(t, m, 43)
+}

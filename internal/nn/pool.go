@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+
+	"adafl/internal/tensor"
+)
+
+// MaxPool2D downsamples each channel plane by taking the maximum over
+// non-overlapping Size×Size windows (stride = Size). Input height and width
+// must be divisible by Size, matching the paper CNN's 2×2 pooling.
+type MaxPool2D struct {
+	statelessBase
+	Size int
+
+	argmax  []int // flat input index of each output's max, for backward
+	inShape []int
+}
+
+// NewMaxPool2D returns a pooling layer with the given window size.
+func NewMaxPool2D(size int) *MaxPool2D {
+	if size <= 0 {
+		panic("nn: non-positive pool size")
+	}
+	return &MaxPool2D{Size: size}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool%dx%d", p.Size, p.Size) }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: maxpool forward shape %v, want rank 4", x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	s := p.Size
+	if h%s != 0 || w%s != 0 {
+		panic(fmt.Sprintf("nn: maxpool input %dx%d not divisible by %d", h, w, s))
+	}
+	oh, ow := h/s, w/s
+	y := tensor.New(n, c, oh, ow)
+	var argmax []int
+	if train {
+		argmax = make([]int, n*c*oh*ow)
+	}
+	for nc := 0; nc < n*c; nc++ {
+		inPlane := x.Data[nc*h*w:][: h*w : h*w]
+		outPlane := y.Data[nc*oh*ow:][: oh*ow : oh*ow]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				bestIdx := (oy*s)*w + ox*s
+				best := inPlane[bestIdx]
+				for ky := 0; ky < s; ky++ {
+					rowOff := (oy*s+ky)*w + ox*s
+					for kx := 0; kx < s; kx++ {
+						if v := inPlane[rowOff+kx]; v > best {
+							best = v
+							bestIdx = rowOff + kx
+						}
+					}
+				}
+				outPlane[oy*ow+ox] = best
+				if train {
+					argmax[nc*oh*ow+oy*ow+ox] = nc*h*w + bestIdx
+				}
+			}
+		}
+	}
+	if train {
+		p.argmax = argmax
+		p.inShape = []int{n, c, h, w}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if p.argmax == nil {
+		panic("nn: maxpool backward before forward")
+	}
+	dx := tensor.New(p.inShape...)
+	for i, g := range gradOut.Data {
+		dx.Data[p.argmax[i]] += g
+	}
+	return dx
+}
+
+// Flatten reshapes (N, ...) input into (N, D) for the dense head.
+type Flatten struct {
+	statelessBase
+	inShape []int
+}
+
+// NewFlatten returns a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	if train {
+		f.inShape = append([]int(nil), x.Shape()...)
+	}
+	return x.Reshape(n, x.Size()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Reshape(f.inShape...)
+}

@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"fmt"
+
+	"adafl/internal/stats"
+	"adafl/internal/tensor"
+)
+
+// ResidualBlock computes y = relu(conv2(relu(conv1(x))) + x) with 3×3
+// same-padding convolutions, the basic building block of the ResNetLite
+// stand-in for the paper's ResNet-50. Channel count is preserved so the
+// skip connection is an identity.
+type ResidualBlock struct {
+	C int
+
+	conv1, conv2 *Conv2D
+	relu1        *ReLU
+
+	sumMask []bool // relu mask over (conv path + skip)
+}
+
+// NewResidualBlock returns an identity-skip residual block over c channels.
+func NewResidualBlock(c int, r *stats.RNG) *ResidualBlock {
+	return &ResidualBlock{
+		C:     c,
+		conv1: NewConv2D(c, c, 3, 1, r),
+		conv2: NewConv2D(c, c, 3, 1, r),
+		relu1: NewReLU(),
+	}
+}
+
+// Name implements Layer.
+func (b *ResidualBlock) Name() string { return fmt.Sprintf("resblock(%dch)", b.C) }
+
+// Forward implements Layer.
+func (b *ResidualBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	h := b.conv1.Forward(x, train)
+	h = b.relu1.Forward(h, train)
+	h = b.conv2.Forward(h, train)
+	y := h.Clone()
+	y.AddInPlace(x)
+	var mask []bool
+	if train {
+		mask = make([]bool, len(y.Data))
+	}
+	for i, v := range y.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+		} else if train {
+			mask[i] = true
+		}
+	}
+	if train {
+		b.sumMask = mask
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (b *ResidualBlock) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if b.sumMask == nil {
+		panic("nn: residual backward before forward")
+	}
+	g := gradOut.Clone()
+	for i := range g.Data {
+		if !b.sumMask[i] {
+			g.Data[i] = 0
+		}
+	}
+	// g flows both through the conv path and the skip.
+	dPath := b.conv2.Backward(g)
+	dPath = b.relu1.Backward(dPath)
+	dPath = b.conv1.Backward(dPath)
+	dPath.AddInPlace(g)
+	return dPath
+}
+
+// Params implements Layer.
+func (b *ResidualBlock) Params() []*tensor.Tensor {
+	return append(b.conv1.Params(), b.conv2.Params()...)
+}
+
+// Grads implements Layer.
+func (b *ResidualBlock) Grads() []*tensor.Tensor {
+	return append(b.conv1.Grads(), b.conv2.Grads()...)
+}
+
+// FLOPsPerSample implements FLOPCounter.
+func (b *ResidualBlock) FLOPsPerSample() float64 {
+	return b.conv1.FLOPsPerSample() + b.conv2.FLOPsPerSample()
+}

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// checkpoint is the on-disk format: the parameter vector plus enough
+// metadata to reject mismatched architectures.
+type checkpoint struct {
+	NumParams  int
+	InputShape []int
+	Classes    int
+	Params     []float64
+}
+
+// SaveParams writes the model's parameters to w in gob format.
+func (m *Model) SaveParams(w io.Writer) error {
+	cp := checkpoint{
+		NumParams:  m.NumParams(),
+		InputShape: m.InputShape,
+		Classes:    m.Classes,
+		Params:     m.ParamVector(),
+	}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("nn: save params: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads parameters written by SaveParams into the model,
+// verifying the architecture fingerprint.
+func (m *Model) LoadParams(r io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("nn: load params: %w", err)
+	}
+	if cp.NumParams != m.NumParams() {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", cp.NumParams, m.NumParams())
+	}
+	if cp.Classes != m.Classes {
+		return fmt.Errorf("nn: checkpoint has %d classes, model has %d", cp.Classes, m.Classes)
+	}
+	if len(cp.InputShape) != len(m.InputShape) {
+		return fmt.Errorf("nn: checkpoint input rank %d, model %d", len(cp.InputShape), len(m.InputShape))
+	}
+	for i, d := range cp.InputShape {
+		if m.InputShape[i] != d {
+			return fmt.Errorf("nn: checkpoint input shape %v, model %v", cp.InputShape, m.InputShape)
+		}
+	}
+	m.SetParamVector(cp.Params)
+	return nil
+}
+
+// SaveFile writes the model's parameters to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.SaveParams(f)
+}
+
+// LoadFile reads parameters from path into the model.
+func (m *Model) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.LoadParams(f)
+}

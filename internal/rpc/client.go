@@ -1,0 +1,125 @@
+package rpc
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"adafl/internal/compress"
+	"adafl/internal/core"
+	"adafl/internal/dataset"
+	"adafl/internal/nn"
+	"adafl/internal/stats"
+	"adafl/internal/tensor"
+)
+
+// ClientConfig configures a federation client process.
+type ClientConfig struct {
+	// Addr is the server address.
+	Addr string
+	// ID is the client's unique index (0-based).
+	ID int
+	// Data is the client's local shard.
+	Data *dataset.Dataset
+	// NewModel builds the shared architecture.
+	NewModel func() *nn.Model
+	// LocalSteps/BatchSize/LR/Momentum configure local SGD.
+	LocalSteps, BatchSize int
+	LR, Momentum          float64
+	// Utility configures the locally computed utility score.
+	Utility core.UtilityConfig
+	// UpBps/DownBps are the link bandwidths the client reports into its
+	// utility score; UpBps also drives the uplink throttle when
+	// ThrottleUplink is set.
+	UpBps, DownBps float64
+	ThrottleUplink bool
+	// DGC configures the uplink codec.
+	DGCMomentum, DGCClip, DGCMsgClip float64
+	// Seed drives batching.
+	Seed uint64
+	// Logf receives progress lines (log.Printf if nil).
+	Logf func(format string, args ...interface{})
+}
+
+// ClientResult summarises a completed client session.
+type ClientResult struct {
+	Rounds    int
+	Uploads   int
+	BytesSent int64
+}
+
+// RunClient connects to the server and participates until shutdown.
+func RunClient(cfg ClientConfig) (*ClientResult, error) {
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	raw, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	var throttle *TokenBucket
+	if cfg.ThrottleUplink && cfg.UpBps > 0 {
+		throttle = NewTokenBucket(cfg.UpBps)
+	}
+	conn := NewConn(raw, throttle)
+	defer conn.Close()
+
+	if err := conn.Send(&Envelope{Type: MsgHello, ClientID: cfg.ID, NumSamples: cfg.Data.Len()}); err != nil {
+		return nil, err
+	}
+
+	model := cfg.NewModel()
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+	iter := dataset.NewIterator(cfg.Data, cfg.BatchSize, stats.NewRNG(cfg.Seed))
+	codec := &compress.DGC{Momentum: cfg.DGCMomentum, ClipNorm: cfg.DGCClip, MsgClipFactor: cfg.DGCMsgClip}
+	res := &ClientResult{}
+
+	for {
+		e, err := conn.Recv()
+		if err != nil {
+			return res, fmt.Errorf("rpc: client %d recv: %w", cfg.ID, err)
+		}
+		switch e.Type {
+		case MsgShutdown:
+			cfg.Logf("client %d: shutdown (%s)", cfg.ID, e.Info)
+			res.BytesSent = conn.BytesSent()
+			return res, nil
+		case MsgModel:
+			// Local training from the received global model.
+			model.SetParamVector(e.Params)
+			for s := 0; s < cfg.LocalSteps; s++ {
+				x, labels := iter.Next()
+				model.ZeroGrads()
+				model.TrainBatch(x, labels)
+				opt.Step(model)
+			}
+			local := model.ParamVector()
+			delta := make([]float64, len(local))
+			tensor.SubVec(delta, local, e.Params)
+			// Utility score against the server-provided ĝ.
+			score := cfg.Utility.Score(cfg.UpBps, cfg.DownBps, delta, e.GlobalDelta)
+			if tensor.Norm2(e.GlobalDelta) == 0 {
+				score = 1 // warm-up: everyone reports full utility
+			}
+			if err := conn.Send(&Envelope{Type: MsgScore, ClientID: cfg.ID, Round: e.Round, Score: score}); err != nil {
+				return res, err
+			}
+			// Await the selection decision.
+			sel, err := conn.Recv()
+			if err != nil || sel.Type != MsgSelect {
+				return res, fmt.Errorf("rpc: client %d expected select: %v", cfg.ID, err)
+			}
+			res.Rounds++
+			if sel.Ratio <= 0 {
+				continue // withheld this round
+			}
+			msg := codec.Encode(delta, sel.Ratio)
+			if err := conn.Send(&Envelope{Type: MsgUpdate, ClientID: cfg.ID, Round: e.Round, Update: msg}); err != nil {
+				return res, err
+			}
+			res.Uploads++
+		default:
+			return res, fmt.Errorf("rpc: client %d unexpected message %v", cfg.ID, e.Type)
+		}
+	}
+}

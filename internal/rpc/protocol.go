@@ -1,0 +1,130 @@
+// Package rpc runs AdaFL over real TCP sockets: a federation server and
+// client processes exchanging gob-encoded messages, with optional
+// token-bucket throttling to emulate constrained embedded uplinks. It
+// stands in for the paper's Raspberry Pi cluster deployment and backs the
+// cmd/flserver and cmd/flclient binaries.
+package rpc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+
+	"adafl/internal/compress"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType int
+
+// Protocol messages, in round order.
+const (
+	// MsgHello is the client's registration: ID and sample count.
+	MsgHello MsgType = iota
+	// MsgModel is the server's round broadcast: global parameters and the
+	// previous global delta ĝ for utility scoring.
+	MsgModel
+	// MsgScore is the client's utility report after local training.
+	MsgScore
+	// MsgSelect tells a client whether to upload and at what compression
+	// ratio (Ratio 0 = withhold this round).
+	MsgSelect
+	// MsgUpdate carries the client's compressed model delta.
+	MsgUpdate
+	// MsgShutdown ends the session; Info carries a farewell summary.
+	MsgShutdown
+)
+
+// Envelope is the single wire message type. Only the fields relevant to
+// the Type are populated; gob omits nil slices cheaply.
+type Envelope struct {
+	Type     MsgType
+	ClientID int
+	Round    int
+
+	// MsgHello
+	NumSamples int
+
+	// MsgModel
+	Params      []float64
+	GlobalDelta []float64
+
+	// MsgScore / MsgSelect
+	Score float64
+	Ratio float64
+
+	// MsgUpdate
+	Update *compress.Sparse
+
+	// MsgShutdown
+	Info string
+}
+
+// Conn wraps a net.Conn with gob codecs and byte accounting.
+type Conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	cw  *countingWriter
+	cr  *countingReader
+}
+
+// NewConn wraps raw. If throttle is non-nil it shapes writes.
+func NewConn(raw net.Conn, throttle *TokenBucket) *Conn {
+	cw := &countingWriter{w: raw}
+	cr := &countingReader{r: raw}
+	var encTarget = cw
+	c := &Conn{raw: raw, cw: cw, cr: cr}
+	if throttle != nil {
+		c.enc = gob.NewEncoder(&throttledWriter{w: encTarget, tb: throttle})
+	} else {
+		c.enc = gob.NewEncoder(encTarget)
+	}
+	c.dec = gob.NewDecoder(cr)
+	return c
+}
+
+// Send writes one envelope.
+func (c *Conn) Send(e *Envelope) error {
+	if err := c.enc.Encode(e); err != nil {
+		return fmt.Errorf("rpc: send %v: %w", e.Type, err)
+	}
+	return nil
+}
+
+// Recv reads one envelope.
+func (c *Conn) Recv() (*Envelope, error) {
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// BytesSent and BytesReceived report cumulative wire volume.
+func (c *Conn) BytesSent() int64     { return c.cw.n }
+func (c *Conn) BytesReceived() int64 { return c.cr.n }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+type countingWriter struct {
+	w net.Conn
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r net.Conn
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,93 @@
+package rpc
+
+import (
+	"net"
+	"testing"
+
+	"adafl/internal/core"
+	"adafl/internal/dataset"
+	"adafl/internal/nn"
+	"adafl/internal/stats"
+)
+
+// TestServerClientDisconnectMidRound ensures the server surfaces a clean
+// error (rather than hanging) when a registered client vanishes.
+func TestServerClientDisconnectMidRound(t *testing.T) {
+	newModel := func() *nn.Model { return nn.NewLogistic(4, 2, stats.NewRNG(1)) }
+	cfg := core.DefaultConfig()
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 5,
+		Cfg: cfg, NewModel: newModel, Logf: quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := srv.Run()
+		errCh <- err
+	}()
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(raw, nil)
+	if err := c.Send(&Envelope{Type: MsgHello, ClientID: 0, NumSamples: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Receive the first model broadcast, then vanish without replying.
+	if _, err := c.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := <-errCh; err == nil {
+		t.Fatal("server did not report the lost client")
+	}
+}
+
+// TestClientRejectsUnexpectedMessage ensures protocol violations error out
+// instead of being silently misinterpreted.
+func TestClientRejectsUnexpectedMessage(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn := NewConn(raw, nil)
+		conn.Recv()                          // hello
+		conn.Send(&Envelope{Type: MsgScore}) // nonsense: server never sends scores
+	}()
+
+	ds := tinyDataset(t)
+	_, err = RunClient(ClientConfig{
+		Addr: ln.Addr().String(), ID: 0, Data: ds,
+		NewModel:   func() *nn.Model { return nn.NewImageMLP([]int{1, 16, 16}, []int{8}, 10, stats.NewRNG(2)) },
+		LocalSteps: 1, BatchSize: 4, LR: 0.1,
+		Utility: core.DefaultUtility(), UpBps: 1e6, DownBps: 1e6,
+		Logf: quiet, Seed: 3,
+	})
+	if err == nil {
+		t.Fatal("client accepted a protocol violation")
+	}
+}
+
+// TestConnRecvAfterClose returns an error, not a hang.
+func TestConnRecvAfterClose(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a, nil), NewConn(b, nil)
+	ca.Close()
+	if _, err := cb.Recv(); err == nil {
+		t.Fatal("recv on closed pipe succeeded")
+	}
+}
+
+// tinyDataset builds a minimal client shard for protocol tests.
+func tinyDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.SynthMNIST(40, 16, 1)
+}

@@ -1,0 +1,283 @@
+package rpc
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"sync"
+
+	"adafl/internal/core"
+	"adafl/internal/dataset"
+	"adafl/internal/nn"
+	"adafl/internal/tensor"
+)
+
+// ServerConfig configures a federation server.
+type ServerConfig struct {
+	// Addr is the listen address, e.g. ":7070".
+	Addr string
+	// NumClients is how many registrations to wait for before round 1.
+	NumClients int
+	// Rounds is the training budget.
+	Rounds int
+	// Cfg is the AdaFL configuration (selection + compression).
+	Cfg core.Config
+	// NewModel builds the shared architecture.
+	NewModel func() *nn.Model
+	// Test, when non-nil, is evaluated after every EvalEvery rounds.
+	Test      *dataset.Dataset
+	EvalEvery int
+	// Logf receives progress lines (log.Printf if nil).
+	Logf func(format string, args ...interface{})
+}
+
+// RoundRecord is the server's per-round log entry.
+type RoundRecord struct {
+	Round    int
+	Selected int
+	Received int
+	TestAcc  float64
+	Bytes    int64
+}
+
+// ServerResult summarises a completed session.
+type ServerResult struct {
+	Rounds   []RoundRecord
+	FinalAcc float64
+	// BytesReceived is the total uplink volume across all clients.
+	BytesReceived int64
+}
+
+// Server drives synchronous AdaFL over TCP.
+type Server struct {
+	cfg      ServerConfig
+	listener net.Listener
+
+	mu      sync.Mutex
+	clients map[int]*clientConn
+}
+
+type clientConn struct {
+	id      int
+	conn    *Conn
+	samples int
+}
+
+// NewServer binds the listen socket (so callers know the port before
+// clients dial) and returns the server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.NumClients <= 0 || cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("rpc: need positive NumClients and Rounds")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 1
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, listener: ln, clients: map[int]*clientConn{}}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Run accepts NumClients registrations, executes the configured rounds,
+// shuts the clients down and returns the session result.
+func (s *Server) Run() (*ServerResult, error) {
+	defer s.listener.Close()
+	if err := s.acceptAll(); err != nil {
+		return nil, err
+	}
+
+	model := s.cfg.NewModel()
+	global := model.ParamVector()
+	globalDelta := make([]float64, len(global))
+	totalSamples := 0
+	for _, c := range s.clients {
+		totalSamples += c.samples
+	}
+
+	res := &ServerResult{}
+	planner := newServerSelector(s.cfg.Cfg, s.cfg.NumClients)
+	for round := 0; round < s.cfg.Rounds; round++ {
+		rec, err := s.runRound(round, planner, model, global, globalDelta, totalSamples)
+		if err != nil {
+			return res, err
+		}
+		res.Rounds = append(res.Rounds, rec)
+		res.BytesReceived = rec.Bytes
+		if rec.TestAcc == rec.TestAcc && rec.TestAcc > 0 {
+			res.FinalAcc = rec.TestAcc
+		}
+	}
+	s.shutdown(fmt.Sprintf("done: %d rounds, final acc %.3f", s.cfg.Rounds, res.FinalAcc))
+	return res, nil
+}
+
+func (s *Server) acceptAll() error {
+	for len(s.clients) < s.cfg.NumClients {
+		raw, err := s.listener.Accept()
+		if err != nil {
+			return err
+		}
+		conn := NewConn(raw, nil)
+		hello, err := conn.Recv()
+		if err != nil || hello.Type != MsgHello {
+			raw.Close()
+			return fmt.Errorf("rpc: bad hello: %v", err)
+		}
+		if _, dup := s.clients[hello.ClientID]; dup {
+			raw.Close()
+			return fmt.Errorf("rpc: duplicate client id %d", hello.ClientID)
+		}
+		s.clients[hello.ClientID] = &clientConn{id: hello.ClientID, conn: conn, samples: hello.NumSamples}
+		s.cfg.Logf("server: client %d registered (%d samples)", hello.ClientID, hello.NumSamples)
+	}
+	return nil
+}
+
+func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
+	global, globalDelta []float64, totalSamples int) (RoundRecord, error) {
+	rec := RoundRecord{Round: round, TestAcc: nan()}
+
+	// 1. Broadcast the model + previous global delta.
+	for _, c := range s.clients {
+		err := c.conn.Send(&Envelope{Type: MsgModel, Round: round, Params: global, GlobalDelta: globalDelta})
+		if err != nil {
+			return rec, err
+		}
+	}
+	// 2. Collect utility scores.
+	scores := make(map[int]float64, len(s.clients))
+	for _, c := range s.clients {
+		e, err := c.conn.Recv()
+		if err != nil || e.Type != MsgScore {
+			return rec, fmt.Errorf("rpc: expected score from %d: %v", c.id, err)
+		}
+		scores[e.ClientID] = e.Score
+	}
+	// 3. Select and notify.
+	plan := sel.plan(round, scores)
+	rec.Selected = len(plan)
+	for id, c := range s.clients {
+		ratio, ok := plan[id]
+		if !ok {
+			ratio = 0
+		}
+		if err := c.conn.Send(&Envelope{Type: MsgSelect, Round: round, Ratio: ratio}); err != nil {
+			return rec, err
+		}
+	}
+	// 4. Collect updates from selected clients and aggregate (FedAvg).
+	agg := make([]float64, len(global))
+	weightSum := 0.0
+	for id := range plan {
+		c := s.clients[id]
+		e, err := c.conn.Recv()
+		if err != nil || e.Type != MsgUpdate || e.Update == nil {
+			return rec, fmt.Errorf("rpc: expected update from %d: %v", id, err)
+		}
+		w := float64(c.samples) / float64(totalSamples)
+		e.Update.AddTo(agg, w)
+		weightSum += w
+		rec.Received++
+	}
+	before := tensor.CopyVec(global)
+	if weightSum > 0 {
+		tensor.Axpy(1/weightSum, agg, global)
+	}
+	tensor.SubVec(globalDelta, global, before)
+
+	// 5. Evaluate.
+	if s.cfg.Test != nil && (round+1)%s.cfg.EvalEvery == 0 {
+		model.SetParamVector(global)
+		acc, _ := model.EvaluateBatched(s.cfg.Test.X, s.cfg.Test.Labels, 64)
+		rec.TestAcc = acc
+		s.cfg.Logf("server: round %d acc=%.3f selected=%d", round+1, acc, rec.Selected)
+	}
+	var bytes int64
+	for _, c := range s.clients {
+		bytes += c.conn.BytesReceived()
+	}
+	rec.Bytes = bytes
+	return rec, nil
+}
+
+func (s *Server) shutdown(info string) {
+	for _, c := range s.clients {
+		c.conn.Send(&Envelope{Type: MsgShutdown, Info: info})
+		c.conn.Close()
+	}
+}
+
+// serverSelector applies Algorithm 1 + the fairness reservation over
+// scores reported by remote clients.
+type serverSelector struct {
+	cfg     core.Config
+	lastSel []int
+}
+
+func newServerSelector(cfg core.Config, n int) *serverSelector {
+	last := make([]int, n)
+	for i := range last {
+		last[i] = -1
+	}
+	return &serverSelector{cfg: cfg, lastSel: last}
+}
+
+// plan maps selected client id → compression ratio.
+func (s *serverSelector) plan(round int, scores map[int]float64) map[int]float64 {
+	n := len(scores)
+	out := map[int]float64{}
+	if s.cfg.Compression.InWarmup(round) {
+		for id := range scores {
+			out[id] = s.cfg.Compression.WarmupRatio
+			s.lastSel[id] = round
+		}
+		return out
+	}
+	vec := make([]float64, n)
+	for id, sc := range scores {
+		vec[id] = sc
+	}
+	reserve := int(0.5 + s.cfg.ExploreFrac*float64(s.cfg.K))
+	if reserve > s.cfg.K {
+		reserve = s.cfg.K
+	}
+	var selected []core.ScoredClient
+	if kTop := s.cfg.K - reserve; kTop >= 1 {
+		selected = core.SelectClients(vec, kTop, s.cfg.Tau)
+	}
+	chosen := map[int]bool{}
+	for _, sc := range selected {
+		chosen[sc.Client] = true
+	}
+	for slot := 0; slot < reserve; slot++ {
+		best := -1
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			if best == -1 || s.lastSel[i] < s.lastSel[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		chosen[best] = true
+		selected = append(selected, core.ScoredClient{Client: best, Score: vec[best]})
+	}
+	for rank, sc := range selected {
+		out[sc.Client] = s.cfg.Compression.RatioForRank(rank, len(selected), round)
+		s.lastSel[sc.Client] = round
+	}
+	return out
+}
+
+func nan() float64 { return math.NaN() }

@@ -1,0 +1,70 @@
+package rpc
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// TokenBucket rate-limits bytes to emulate a constrained link on a real
+// socket. Capacity is one second's worth of tokens, so short bursts pass
+// and sustained throughput converges to Rate bytes/second.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	tokens float64
+	last   time.Time
+	// sleep is replaceable for tests.
+	sleep func(time.Duration)
+}
+
+// NewTokenBucket returns a bucket limiting to rate bytes/second.
+func NewTokenBucket(rate float64) *TokenBucket {
+	if rate <= 0 {
+		panic("rpc: non-positive throttle rate")
+	}
+	return &TokenBucket{rate: rate, tokens: rate, last: time.Now(), sleep: time.Sleep}
+}
+
+// Take blocks until n bytes worth of tokens are available.
+func (tb *TokenBucket) Take(n int) {
+	for n > 0 {
+		chunk := n
+		if max := int(tb.rate); chunk > max && max > 0 {
+			chunk = max
+		}
+		tb.takeChunk(chunk)
+		n -= chunk
+	}
+}
+
+func (tb *TokenBucket) takeChunk(n int) {
+	for {
+		tb.mu.Lock()
+		now := time.Now()
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		tb.last = now
+		if tb.tokens > tb.rate {
+			tb.tokens = tb.rate
+		}
+		if tb.tokens >= float64(n) {
+			tb.tokens -= float64(n)
+			tb.mu.Unlock()
+			return
+		}
+		need := (float64(n) - tb.tokens) / tb.rate
+		tb.mu.Unlock()
+		tb.sleep(time.Duration(need * float64(time.Second)))
+	}
+}
+
+// throttledWriter shapes writes through a token bucket.
+type throttledWriter struct {
+	w  io.Writer
+	tb *TokenBucket
+}
+
+func (t *throttledWriter) Write(p []byte) (int, error) {
+	t.tb.Take(len(p))
+	return t.w.Write(p)
+}

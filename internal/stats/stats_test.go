@@ -1,0 +1,312 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64UniformMoments(t *testing.T) {
+	r := NewRNG(11)
+	n := 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		sum2 += f * f
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12.0) > 0.01 {
+		t.Errorf("uniform variance = %v, want ~%v", variance, 1.0/12.0)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	n := 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) covered %d values, want 7", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	r := NewRNG(9)
+	for _, alpha := range []float64{0.1, 0.5, 1, 10} {
+		p := r.Dirichlet(alpha, 10)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 {
+				t.Fatalf("alpha=%v: negative probability %v", alpha, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("alpha=%v: probabilities sum to %v", alpha, sum)
+		}
+	}
+}
+
+func TestDirichletConcentration(t *testing.T) {
+	// Small alpha should produce much spikier distributions than large
+	// alpha; compare average max probability.
+	r := NewRNG(17)
+	avgMax := func(alpha float64) float64 {
+		total := 0.0
+		for i := 0; i < 200; i++ {
+			p := r.Dirichlet(alpha, 10)
+			total += p[ArgMax(p)]
+		}
+		return total / 200
+	}
+	spiky, flat := avgMax(0.1), avgMax(100)
+	if spiky < flat+0.2 {
+		t.Errorf("alpha=0.1 avg max %v not clearly spikier than alpha=100 avg max %v", spiky, flat)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(23)
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(31)
+	child := r.Split()
+	// The child stream must not simply mirror the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split stream mirrored parent %d times", same)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v, want %v", s.Std, math.Sqrt(2.5))
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Errorf("median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestMeanAndCI(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean([2 4]) != 3")
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Error("CI95 of single sample should be 0")
+	}
+	if CI95([]float64{1, 2, 3, 4}) <= 0 {
+		t.Error("CI95 of spread sample should be positive")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax(nil) != -1 {
+		t.Error("ArgMax(nil) != -1")
+	}
+	if ArgMax([]float64{1, 5, 5, 2}) != 1 {
+		t.Error("ArgMax ties should return first index")
+	}
+}
+
+// Property: summarize bounds — Min <= Median <= Max and Min <= Mean <= Max.
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			// Keep magnitudes modest so sums of squares cannot overflow.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Median && s.Median <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: permutations always contain every index exactly once.
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%64) + 1
+		p := NewRNG(seed).Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormScaled(t *testing.T) {
+	r := NewRNG(51)
+	n := 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.NormScaled(5, 2)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("scaled mean %v, want ~5", mean)
+	}
+}
+
+func TestDirichletSmallAlpha(t *testing.T) {
+	// Exercises the shape<1 gamma boosting path.
+	r := NewRNG(52)
+	p := r.Dirichlet(0.01, 5)
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("tiny-alpha Dirichlet sums to %v", sum)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(53)
+	v := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+	seen := make([]bool, 8)
+	for _, x := range v {
+		if seen[x] {
+			t.Fatal("shuffle duplicated an element")
+		}
+		seen[x] = true
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	NewRNG(1).Exp(0)
+}

@@ -1,0 +1,244 @@
+// Package tensor provides a small dense float64 tensor and the flat-vector
+// operations federated learning needs: parameter/gradient arithmetic,
+// matrix multiplication for fully-connected layers, and similarity metrics
+// for utility scoring.
+//
+// Tensors are row-major over an explicit shape. The package favours
+// in-place operations on pre-allocated buffers because the training loop is
+// the hot path of every experiment in this repository.
+package tensor
+
+import (
+	"fmt"
+
+	"adafl/internal/stats"
+)
+
+// Tensor is a dense, row-major multi-dimensional array of float64.
+type Tensor struct {
+	shape []int
+	// Data is the flat backing slice, exposed so hot loops (convolution,
+	// codecs) can iterate without bounds-checked accessor calls.
+	Data []float64
+}
+
+// New allocates a zero-filled tensor with the given shape. A zero-length
+// shape yields a scalar tensor holding one element.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is used
+// directly (not copied); its length must equal the shape's element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	t := &Tensor{shape: append([]int(nil), shape...), Data: data}
+	if len(data) != t.Size() {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return t
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int {
+	n := 1
+	for _, d := range t.shape {
+		n *= d
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{shape: append([]int(nil), t.shape...), Data: make([]float64, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of the same data with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	v := &Tensor{shape: append([]int(nil), shape...), Data: t.Data}
+	if v.Size() != t.Size() {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	return v
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Zero resets all elements to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// RandNorm fills the tensor with N(0, stddev^2) samples from r.
+func (t *Tensor) RandNorm(r *stats.RNG, stddev float64) {
+	for i := range t.Data {
+		t.Data[i] = r.Norm() * stddev
+	}
+}
+
+// AddInPlace accumulates o into t elementwise. Shapes must match in size.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AddInPlace size mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// MatMul computes c = a @ b for 2-D tensors, writing into a freshly
+// allocated result. a is (m×k), b is (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(1) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.shape, b.shape))
+	}
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	_ = k
+	return c
+}
+
+// MatMulInto computes c = a @ b into an existing (m×n) tensor. The loop
+// order (i, p, j) streams both b and c rows sequentially, which is the
+// cache-friendly ordering for row-major data.
+func MatMulInto(c, a, b *Tensor) {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	if c.Dim(0) != m || c.Dim(1) != n {
+		panic("tensor: MatMulInto output shape mismatch")
+	}
+	c.Zero()
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransposeB computes c = a @ bᵀ where a is (m×k) and b is (n×k),
+// writing into the existing (m×n) tensor c. This avoids materialising the
+// transpose in dense-layer backward passes.
+func MatMulTransposeB(c, a, b *Tensor) {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
+	if b.Dim(1) != k || c.Dim(0) != m || c.Dim(1) != n {
+		panic("tensor: MatMulTransposeB shape mismatch")
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			sum := 0.0
+			for p, av := range arow {
+				sum += av * brow[p]
+			}
+			crow[j] = sum
+		}
+	}
+}
+
+// MatMulTransposeBAdd computes c += a @ bᵀ where a is (m×k) and b is
+// (n×k), accumulating into the existing (m×n) tensor c — the form
+// weight-gradient accumulation across mini-batches wants.
+func MatMulTransposeBAdd(c, a, b *Tensor) {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
+	if b.Dim(1) != k || c.Dim(0) != m || c.Dim(1) != n {
+		panic("tensor: MatMulTransposeBAdd shape mismatch")
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			sum := 0.0
+			for p, av := range arow {
+				sum += av * brow[p]
+			}
+			crow[j] += sum
+		}
+	}
+}
+
+// MatMulTransposeA computes c = aᵀ @ b where a is (k×m) and b is (k×n),
+// accumulating into the existing (m×n) tensor c (callers zero it if needed;
+// accumulation is what weight-gradient computation wants across batches).
+func MatMulTransposeA(c, a, b *Tensor) {
+	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	if b.Dim(0) != k || c.Dim(0) != m || c.Dim(1) != n {
+		panic("tensor: MatMulTransposeA shape mismatch")
+	}
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}

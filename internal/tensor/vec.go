@@ -1,0 +1,121 @@
+package tensor
+
+import "math"
+
+// Vector helpers operate on flat []float64 slices. Flattened parameter and
+// gradient vectors are the currency of the FL aggregation layer, so these
+// live here rather than on Tensor.
+
+// Dot returns the inner product of a and b. It panics on length mismatch.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	sum := 0.0
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b in
+// [-1, 1]. If either vector is (numerically) zero the similarity is defined
+// as 0: a zero gradient carries no directional information.
+func CosineSimilarity(a, b []float64) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := Dot(a, b) / (na * nb)
+	// Clamp floating-point excursions so downstream [0,1] rescaling holds.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// EuclideanDistance returns ‖a-b‖₂.
+func EuclideanDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: EuclideanDistance length mismatch")
+	}
+	sum := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// ScaleVec multiplies v by s in place.
+func ScaleVec(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// AddVec computes dst = a + b, writing into dst (which may alias a or b).
+func AddVec(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("tensor: AddVec length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// SubVec computes dst = a - b, writing into dst (which may alias a or b).
+func SubVec(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("tensor: SubVec length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// ClipNorm rescales v in place so that ‖v‖₂ ≤ maxNorm, returning the scale
+// factor applied (1 if no clipping occurred). maxNorm must be positive.
+func ClipNorm(v []float64, maxNorm float64) float64 {
+	if maxNorm <= 0 {
+		panic("tensor: ClipNorm with non-positive maxNorm")
+	}
+	n := Norm2(v)
+	if n <= maxNorm || n == 0 {
+		return 1
+	}
+	s := maxNorm / n
+	ScaleVec(v, s)
+	return s
+}
+
+// ZerosLike returns a zero vector of the same length as v.
+func ZerosLike(v []float64) []float64 { return make([]float64, len(v)) }
+
+// CopyVec returns a fresh copy of v.
+func CopyVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// svgPalette holds the line colours used for successive series.
+var svgPalette = []string{
+	"#4363d8", "#e6194b", "#3cb44b", "#f58231",
+	"#911eb4", "#46f0f0", "#808000", "#000075",
+}
+
+// WriteSVG renders the figure as a standalone SVG document: axes with
+// tick labels, one polyline per series, and a legend. Dimensions are the
+// outer pixel size.
+func (f *Figure) WriteSVG(w io.Writer, width, height int) error {
+	if width < 160 {
+		width = 160
+	}
+	if height < 120 {
+		height = 120
+	}
+	const (
+		marginL = 56
+		marginR = 16
+		marginT = 28
+		marginB = 40
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	minX, maxX, minY, maxY := f.bounds()
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return float64(marginL) + plotW*(x-minX)/(maxX-minX) }
+	py := func(y float64) float64 { return float64(marginT) + plotH*(1-(y-minY)/(maxY-minY)) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13" font-weight="bold">%s</text>`+"\n", marginL, xmlEscape(f.Title))
+	fmt.Fprintf(&b, `<text x="%g" y="%d" text-anchor="middle">%s</text>`+"\n",
+		float64(marginL)+plotW/2, height-8, xmlEscape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%g" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, xmlEscape(f.YLabel))
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%g" height="%g" fill="none" stroke="#999"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		frac := float64(i) / 4
+		xv := minX + frac*(maxX-minX)
+		yv := minY + frac*(maxY-minY)
+		fmt.Fprintf(&b, `<text x="%g" y="%d" text-anchor="middle" fill="#555">%s</text>`+"\n",
+			px(xv), height-marginB+14, fmtTick(xv))
+		fmt.Fprintf(&b, `<text x="%d" y="%g" text-anchor="end" fill="#555">%s</text>`+"\n",
+			marginL-4, py(yv)+4, fmtTick(yv))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%g" y2="%g" stroke="#eee"/>`+"\n",
+			marginL, py(yv), float64(marginL)+plotW, py(yv))
+	}
+	// Series.
+	for si, s := range f.Series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i := 0; i < s.Len(); i++ {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		// Legend entry.
+		ly := marginT + 6 + si*14
+		fmt.Fprintf(&b, `<line x1="%g" y1="%d" x2="%g" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			float64(marginL)+plotW-78, ly, float64(marginL)+plotW-62, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%d" fill="#333">%s</text>`+"\n",
+			float64(marginL)+plotW-58, ly+4, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// fmtTick formats an axis tick compactly.
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case a >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case a >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

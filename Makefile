@@ -1,0 +1,34 @@
+# Developer entry points. Everything is stdlib-only Go; `make check` is the
+# gate every change must pass (build + vet + full tests + race detector on
+# the concurrency-bearing packages).
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-gemm bench-train
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages that spawn goroutines (parallel GEMM, parallel evaluation,
+# parallel client rounds) under the race detector.
+race:
+	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/...
+
+# Hot-path microbenchmarks with allocation stats; see DESIGN.md §GEMM for
+# how these map onto BENCH_1.json.
+bench-gemm:
+	$(GO) test -run xxx -bench 'BenchmarkMatMul|BenchmarkMatMulNaive|BenchmarkMatMulParallel|BenchmarkMatMulTranspose' -benchtime 2s -benchmem ./internal/tensor/
+
+bench-train:
+	$(GO) test -run xxx -bench 'BenchmarkConv|BenchmarkDense' -benchtime 2s -benchmem ./internal/nn/
+	$(GO) test -run xxx -bench 'BenchmarkTrainRound|BenchmarkPaperCNNTrainBatch|BenchmarkDGCEncode431k|BenchmarkTopKSelect431k' -benchtime 2s -benchmem .
+
+bench: bench-gemm bench-train

@@ -20,6 +20,8 @@ import (
 
 	"adafl/internal/compress"
 	"adafl/internal/core"
+	"adafl/internal/dataset"
+	"adafl/internal/device"
 	"adafl/internal/experiments"
 	"adafl/internal/fl"
 	"adafl/internal/nn"
@@ -355,6 +357,27 @@ func BenchmarkPaperCNNTrainBatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.ZeroGrads()
 		m.TrainBatch(x, labels)
+	}
+}
+
+// BenchmarkTrainRound measures one full client local round on the paper
+// CNN with synthetic MNIST: LocalSteps mini-batch SGD steps, delta
+// extraction, and a DGC encode at 210× — the per-client unit of work every
+// experiment repeats thousands of times. -benchmem tracks the hot path's
+// allocation count, which the tensor scratch pool and per-layer buffer
+// caches are meant to hold near zero.
+func BenchmarkTrainRound(b *testing.B) {
+	ds := dataset.SynthMNIST(256, 28, 1)
+	model := nn.NewPaperCNN(stats.NewRNG(2))
+	cfg := fl.TrainConfig{LocalSteps: 2, BatchSize: 8, LR: 0.05, Momentum: 0.9}
+	c := fl.NewClient(0, ds, model, cfg, device.Profile{}, stats.NewRNG(3))
+	c.Codec = compress.NewDGC(0, 10)
+	global := model.ParamVector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta, _ := c.TrainRound(global, nil)
+		c.EncodeDelta(delta, 210)
 	}
 }
 

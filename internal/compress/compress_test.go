@@ -350,7 +350,7 @@ func TestTopKThresholdMatchesSort(t *testing.T) {
 			v[i] = r.Norm()
 		}
 		k := int(kRaw%99) + 1
-		got := topKThreshold(v, k)
+		got := topKThreshold(v, k, make([]float64, len(v)))
 		abs := make([]float64, len(v))
 		for i, x := range v {
 			abs[i] = math.Abs(x)

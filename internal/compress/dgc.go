@@ -37,6 +37,11 @@ type DGC struct {
 	MsgClipFactor float64
 
 	u, v []float64
+
+	// gbuf holds the clipped working copy of each incoming gradient and
+	// scratch the quickselect buffer; both are recycled across Encode calls
+	// so a steady-state encode allocates only the outgoing message.
+	gbuf, scratch []float64
 }
 
 // NewDGC returns a DGC codec with the given momentum correction factor and
@@ -64,7 +69,11 @@ func (d *DGC) Encode(grad []float64, ratio float64) *Sparse {
 	if len(d.u) != len(grad) {
 		panic("compress: DGC gradient dimension changed")
 	}
-	g := tensor.CopyVec(grad)
+	if cap(d.gbuf) < len(grad) {
+		d.gbuf = make([]float64, len(grad))
+	}
+	g := d.gbuf[:len(grad)]
+	copy(g, grad)
 	if d.ClipNorm > 0 {
 		tensor.ClipNorm(g, d.ClipNorm)
 	}
@@ -77,7 +86,10 @@ func (d *DGC) Encode(grad []float64, ratio float64) *Sparse {
 		d.v[i] = decay*d.v[i] + d.u[i]
 	}
 	k := KForRatio(len(grad), ratio)
-	msg := SelectTopK(d.v, k)
+	if cap(d.scratch) < len(grad) {
+		d.scratch = make([]float64, len(grad))
+	}
+	msg := SelectTopKScratch(d.v, k, d.scratch)
 	if d.MsgClipFactor > 0 {
 		bound := d.MsgClipFactor * tensor.Norm2(g)
 		if n := tensor.Norm2(msg.Values); n > bound && n > 0 {

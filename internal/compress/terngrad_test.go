@@ -123,7 +123,7 @@ func TestErrorNormOrdering(t *testing.T) {
 		}
 	}
 	idErr := ErrorNorm(Identity{}, g, 10)
-	topErr := ErrorNorm(TopK{}, g, 10)
+	topErr := ErrorNorm(&TopK{}, g, 10)
 	rkErr := ErrorNorm(&RandomK{rng: stats.NewRNG(9), Scale: false}, g, 10)
 	if idErr != 0 {
 		t.Fatalf("identity error %v", idErr)

@@ -1,12 +1,17 @@
 package compress
 
-import "sort"
+import (
+	"sort"
+
+	"adafl/internal/tensor"
+)
 
 // topKThreshold returns the magnitude of the k-th largest |v| using an
-// iterative quickselect over a scratch copy (O(n) expected). k must be in
-// [1, len(v)].
-func topKThreshold(v []float64, k int) float64 {
-	abs := make([]float64, len(v))
+// iterative quickselect over scratch (O(n) expected). k must be in
+// [1, len(v)] and scratch must have length len(v); its contents are
+// clobbered.
+func topKThreshold(v []float64, k int, scratch []float64) float64 {
+	abs := scratch[:len(v)]
 	for i, x := range v {
 		if x < 0 {
 			abs[i] = -x
@@ -46,7 +51,9 @@ func topKThreshold(v []float64, k int) float64 {
 
 // SelectTopK builds a sparse message from the k largest-magnitude
 // coordinates of v. Ties at the threshold are resolved by coordinate order
-// and the result is truncated to exactly k entries.
+// and the result is truncated to exactly k entries. The quickselect scratch
+// is borrowed from the shared tensor pool; stateful codecs that encode
+// every round should prefer SelectTopKScratch with their own buffer.
 func SelectTopK(v []float64, k int) *Sparse {
 	if k <= 0 {
 		panic("compress: non-positive k")
@@ -54,7 +61,26 @@ func SelectTopK(v []float64, k int) *Sparse {
 	if k >= len(v) {
 		return NewSparseDense(v)
 	}
-	thr := topKThreshold(v, k)
+	scratch := tensor.GetScratch(len(v))
+	s := SelectTopKScratch(v, k, scratch)
+	tensor.PutScratch(scratch)
+	return s
+}
+
+// SelectTopKScratch is SelectTopK with a caller-provided quickselect
+// scratch buffer of capacity ≥ len(v), whose contents are clobbered. A nil
+// or too-small scratch falls back to the shared pool.
+func SelectTopKScratch(v []float64, k int, scratch []float64) *Sparse {
+	if k <= 0 {
+		panic("compress: non-positive k")
+	}
+	if k >= len(v) {
+		return NewSparseDense(v)
+	}
+	if cap(scratch) < len(v) {
+		return SelectTopK(v, k)
+	}
+	thr := topKThreshold(v, k, scratch[:len(v)])
 	s := &Sparse{Dim: len(v), Indices: make([]int32, 0, k), Values: make([]float64, 0, k)}
 	// First take strictly-above-threshold entries, then fill with
 	// at-threshold entries until k (handles duplicates of the threshold).
@@ -117,17 +143,24 @@ func (Identity) Encode(grad []float64, _ float64) *Sparse { return NewSparseDens
 // Reset implements Codec.
 func (Identity) Reset() {}
 
-// TopK is stateless magnitude sparsification: the classic baseline that
-// simply drops small coordinates (no error feedback).
-type TopK struct{}
+// TopK is magnitude sparsification without error feedback: the classic
+// baseline that simply drops small coordinates. The only state is the
+// reused quickselect scratch buffer, so one instance must not be shared
+// between concurrently-encoding clients.
+type TopK struct {
+	scratch []float64
+}
 
 // Name implements Codec.
-func (TopK) Name() string { return "topk" }
+func (*TopK) Name() string { return "topk" }
 
 // Encode implements Codec.
-func (TopK) Encode(grad []float64, ratio float64) *Sparse {
-	return SelectTopK(grad, KForRatio(len(grad), ratio))
+func (t *TopK) Encode(grad []float64, ratio float64) *Sparse {
+	if cap(t.scratch) < len(grad) {
+		t.scratch = make([]float64, len(grad))
+	}
+	return SelectTopKScratch(grad, KForRatio(len(grad), ratio), t.scratch)
 }
 
 // Reset implements Codec.
-func (TopK) Reset() {}
+func (t *TopK) Reset() {}

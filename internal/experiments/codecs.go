@@ -34,7 +34,7 @@ type codecUnderTest struct {
 func codecsUnderTest() []codecUnderTest {
 	return []codecUnderTest{
 		{"identity", func(uint64) compress.Codec { return compress.Identity{} }, 1},
-		{"topk@8x", func(uint64) compress.Codec { return compress.TopK{} }, 8},
+		{"topk@8x", func(uint64) compress.Codec { return &compress.TopK{} }, 8},
 		{"randomk@8x", func(seed uint64) compress.Codec { return compress.NewRandomK(stats.NewRNG(seed)) }, 8},
 		{"dgc@8x", func(uint64) compress.Codec { return &compress.DGC{ClipNorm: 10, MsgClipFactor: 2} }, 8},
 		{"qsgd-4bit", func(seed uint64) compress.Codec { return compress.NewQSGD(7, stats.NewRNG(seed)) }, 0},

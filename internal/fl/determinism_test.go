@@ -1,0 +1,51 @@
+package fl
+
+import (
+	"testing"
+
+	"adafl/internal/dataset"
+	"adafl/internal/netsim"
+	"adafl/internal/nn"
+	"adafl/internal/stats"
+	"adafl/internal/tensor"
+)
+
+// TestSyncEngineDeterministicUnderParallelGEMM runs the same small
+// paper-CNN federation twice with a 4-worker matmul budget and once
+// serially, and requires bitwise-identical global models. The CNN's conv
+// GEMMs are large enough to cross the row-parallel threshold, so this
+// checks the guarantee the kernels document: every row's accumulation
+// order is independent of the worker partition.
+func TestSyncEngineDeterministicUnderParallelGEMM(t *testing.T) {
+	old := tensor.MatMulWorkers()
+	defer tensor.SetMatMulWorkers(old)
+
+	run := func(workers int) []float64 {
+		tensor.SetMatMulWorkers(workers)
+		ds := dataset.SynthMNIST(120, 28, 31)
+		train, test := ds.Split(0.8, 32)
+		parts := dataset.PartitionIID(train, 3, 33)
+		net := netsim.UniformNetwork(3, netsim.WiFiLink, 34)
+		newModel := func() *nn.Model { return nn.NewPaperCNN(stats.NewRNG(35)) }
+		cfg := TrainConfig{LocalSteps: 2, BatchSize: 8, LR: 0.05, Momentum: 0.9}
+		f := NewFederation(parts, test, net, newModel, cfg, 36)
+		e := NewSyncEngine(f, FedAvg{}, NewFixedRatePlanner(1, 1, 37), 8)
+		e.RunRounds(2)
+		return append([]float64(nil), e.Global...)
+	}
+
+	first := run(4)
+	second := run(4)
+	serial := run(1)
+
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("two 4-worker runs diverge at param %d: %v vs %v", i, first[i], second[i])
+		}
+	}
+	for i := range first {
+		if first[i] != serial[i] {
+			t.Fatalf("parallel vs serial diverge at param %d: %v vs %v", i, first[i], serial[i])
+		}
+	}
+}

@@ -10,6 +10,10 @@ import (
 type ReLU struct {
 	statelessBase
 	mask []bool
+
+	// Train-mode buffers recycled across steps (see ensureTensor).
+	y  *tensor.Tensor
+	dx *tensor.Tensor
 }
 
 // NewReLU returns a rectified-linear activation layer.
@@ -20,21 +24,31 @@ func (r *ReLU) Name() string { return "relu" }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
-	var mask []bool
-	if train {
-		mask = make([]bool, len(y.Data))
+	if !train {
+		y := x.Clone()
+		for i, v := range y.Data {
+			if v <= 0 {
+				y.Data[i] = 0
+			}
+		}
+		return y
 	}
-	for i, v := range y.Data {
+	r.y = ensureTensor(r.y, x.Shape()...)
+	y := r.y
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	mask := r.mask[:len(y.Data)]
+	for i, v := range x.Data {
 		if v <= 0 {
 			y.Data[i] = 0
-		} else if train {
+			mask[i] = false
+		} else {
+			y.Data[i] = v
 			mask[i] = true
 		}
 	}
-	if train {
-		r.mask = mask
-	}
+	r.mask = mask
 	return y
 }
 
@@ -43,9 +57,12 @@ func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if r.mask == nil {
 		panic("nn: relu backward before forward")
 	}
-	dx := gradOut.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
+	r.dx = ensureTensor(r.dx, gradOut.Shape()...)
+	dx := r.dx
+	for i, g := range gradOut.Data {
+		if r.mask[i] {
+			dx.Data[i] = g
+		} else {
 			dx.Data[i] = 0
 		}
 	}
@@ -58,6 +75,10 @@ func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 type Tanh struct {
 	statelessBase
 	out []float64
+
+	// Train-mode buffers recycled across steps (see ensureTensor).
+	y  *tensor.Tensor
+	dx *tensor.Tensor
 }
 
 // NewTanh returns a tanh activation layer.
@@ -68,8 +89,14 @@ func (t *Tanh) Name() string { return "tanh" }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
-	for i, v := range y.Data {
+	var y *tensor.Tensor
+	if train {
+		t.y = ensureTensor(t.y, x.Shape()...)
+		y = t.y
+	} else {
+		y = tensor.New(x.Shape()...)
+	}
+	for i, v := range x.Data {
 		y.Data[i] = math.Tanh(v)
 	}
 	if train {
@@ -83,10 +110,11 @@ func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if t.out == nil {
 		panic("nn: tanh backward before forward")
 	}
-	dx := gradOut.Clone()
-	for i := range dx.Data {
+	t.dx = ensureTensor(t.dx, gradOut.Shape()...)
+	dx := t.dx
+	for i, g := range gradOut.Data {
 		o := t.out[i]
-		dx.Data[i] *= 1 - o*o
+		dx.Data[i] = g * (1 - o*o)
 	}
 	return dx
 }

@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"testing"
+
+	"adafl/internal/stats"
+	"adafl/internal/tensor"
+)
+
+// BenchmarkConvForwardBackward measures one train-mode forward+backward
+// through the paper CNN's two convolution layers on a batch of 8 — the
+// GEMM-dominated core of every simulated client step.
+func BenchmarkConvForwardBackward(b *testing.B) {
+	r := stats.NewRNG(1)
+	conv1 := NewConv2D(1, 20, 5, 0, r)  // 28×28 -> 24×24
+	conv2 := NewConv2D(20, 50, 5, 0, r) // 24×24 -> 20×20 (no pool, pure conv cost)
+	x := tensor.New(8, 1, 28, 28)
+	x.RandNorm(stats.NewRNG(2), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := conv1.Forward(x, true)
+		y := conv2.Forward(h, true)
+		g := conv2.Backward(y)
+		conv1.Backward(g)
+	}
+}
+
+// BenchmarkConvForwardEval measures an eval-mode forward (the path
+// model evaluation fans out across goroutines), tracking the scratch
+// allocations the shared buffer pool is meant to remove.
+func BenchmarkConvForwardEval(b *testing.B) {
+	r := stats.NewRNG(3)
+	conv := NewConv2D(1, 20, 5, 0, r)
+	x := tensor.New(8, 1, 28, 28)
+	x.RandNorm(stats.NewRNG(4), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, false)
+	}
+}
+
+// BenchmarkDenseForwardBackward measures the dense head at paper shape.
+func BenchmarkDenseForwardBackward(b *testing.B) {
+	r := stats.NewRNG(5)
+	d := NewDense(800, 500, r)
+	x := tensor.New(8, 800)
+	x.RandNorm(stats.NewRNG(6), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := d.Forward(x, true)
+		d.Backward(y)
+	}
+}

@@ -29,8 +29,21 @@ type Conv2D struct {
 
 	x *tensor.Tensor // cached input
 
-	// cols is the scratch im2col buffer (CKK × OH·OW), reused per sample.
-	cols *tensor.Tensor
+	// Train-mode scratch, reused across steps (the backward pass always
+	// completes before the next forward, so recycling cannot alias live
+	// data). cols is the im2col patch matrix (CKK × OH·OW) shared by
+	// forward and backward; y, dx and dcols make the training hot path
+	// allocation-free.
+	cols  *tensor.Tensor
+	y     *tensor.Tensor
+	dx    *tensor.Tensor
+	dcols *tensor.Tensor
+
+	// Cached (OutC, CKK) views of W and GradW. The underlying storage of
+	// both tensors never reallocates, so the views stay valid for the
+	// layer's lifetime.
+	wView     *tensor.Tensor
+	gradWView *tensor.Tensor
 }
 
 // NewConv2D constructs a K×K convolution with He initialisation.
@@ -44,6 +57,8 @@ func NewConv2D(inC, outC, k, pad int, r *stats.RNG) *Conv2D {
 	}
 	fanIn := float64(inC * k * k)
 	c.W.RandNorm(r, math.Sqrt(2/fanIn))
+	c.wView = c.W.Reshape(outC, inC*k*k)
+	c.gradWView = c.GradW.Reshape(outC, inC*k*k)
 	return c
 }
 
@@ -54,6 +69,23 @@ func (c *Conv2D) Name() string {
 
 func (c *Conv2D) outDims(h, w int) (int, int) {
 	return h + 2*c.Pad - c.K + 1, w + 2*c.Pad - c.K + 1
+}
+
+// weightView returns the cached (OutC, CKK) view of W. It never writes
+// layer state: eval-mode forwards may call it concurrently, so a zero-value
+// Conv2D (not built by NewConv2D) just pays for a fresh view.
+func (c *Conv2D) weightView() *tensor.Tensor {
+	if c.wView != nil {
+		return c.wView
+	}
+	return c.W.Reshape(c.OutC, c.InC*c.K*c.K)
+}
+
+func (c *Conv2D) gradWeightView() *tensor.Tensor {
+	if c.gradWView != nil {
+		return c.gradWView
+	}
+	return c.GradW.Reshape(c.OutC, c.InC*c.K*c.K)
 }
 
 // im2col fills dst (CKK × OH·OW) with the patches of one input plane set.
@@ -108,21 +140,27 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	ckk := c.InC * c.K * c.K
 	// Training is single-threaded per layer, so the scratch buffer is
 	// reused; evaluation-mode forwards may run concurrently (parallel
-	// batched evaluation) and get a private buffer.
+	// batched evaluation) and borrow a buffer from the shared pool.
 	var cols *tensor.Tensor
+	var evalScratch []float64
+	var y *tensor.Tensor
 	if train {
-		if c.cols == nil || c.cols.Dim(0) != ckk || c.cols.Dim(1) != oh*ow {
-			c.cols = tensor.New(ckk, oh*ow)
-		}
+		c.cols = ensureTensor(c.cols, ckk, oh*ow)
 		cols = c.cols
+		c.y = ensureTensor(c.y, n, c.OutC, oh, ow)
+		y = c.y
 	} else {
-		cols = tensor.New(ckk, oh*ow)
+		evalScratch = tensor.GetScratch(ckk * oh * ow)
+		cols = tensor.FromSlice(evalScratch, ckk, oh*ow)
+		y = tensor.New(n, c.OutC, oh, ow)
 	}
-	wView := c.W.Reshape(c.OutC, ckk)
-	y := tensor.New(n, c.OutC, oh, ow)
+	wView := c.weightView()
+	// One reusable view header per call; only its Data window moves across
+	// samples, avoiding a tensor-header allocation per sample.
+	outView := tensor.FromSlice(y.Data[:c.OutC*oh*ow], c.OutC, oh*ow)
 	for ni := 0; ni < n; ni++ {
 		c.im2col(cols.Data, x.Data[ni*c.InC*h*w:(ni+1)*c.InC*h*w], h, w, oh, ow)
-		outView := tensor.FromSlice(y.Data[ni*c.OutC*oh*ow:(ni+1)*c.OutC*oh*ow], c.OutC, oh*ow)
+		outView.Data = y.Data[ni*c.OutC*oh*ow : (ni+1)*c.OutC*oh*ow]
 		tensor.MatMulInto(outView, wView, cols)
 	}
 	// Bias.
@@ -139,6 +177,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
+	if evalScratch != nil {
+		tensor.PutScratch(evalScratch)
+	}
 	return y
 }
 
@@ -154,13 +195,17 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	plane := oh * ow
 	ckk := c.InC * k * k
 
-	wView := c.W.Reshape(c.OutC, ckk)
-	gradWView := c.GradW.Reshape(c.OutC, ckk)
-	dx := tensor.New(n, c.InC, h, w)
-	dcols := tensor.New(ckk, plane)
+	wView := c.weightView()
+	gradWView := c.gradWeightView()
+	c.dx = ensureTensor(c.dx, n, c.InC, h, w)
+	dx := c.dx
+	dx.Zero() // col2im scatters with +=
+	c.dcols = ensureTensor(c.dcols, ckk, plane)
+	dcols := c.dcols
 
+	g := tensor.FromSlice(gradOut.Data[:c.OutC*plane], c.OutC, plane)
 	for ni := 0; ni < n; ni++ {
-		g := tensor.FromSlice(gradOut.Data[ni*c.OutC*plane:(ni+1)*c.OutC*plane], c.OutC, plane)
+		g.Data = gradOut.Data[ni*c.OutC*plane : (ni+1)*c.OutC*plane]
 		// Bias gradient: per-channel sums.
 		for oc := 0; oc < c.OutC; oc++ {
 			sum := 0.0

@@ -20,6 +20,12 @@ type Dense struct {
 	GradB *tensor.Tensor
 
 	x *tensor.Tensor // cached input for backward
+
+	// Train-mode output and input-gradient buffers, recycled across steps
+	// (see ensureTensor); eval forwards allocate fresh so they stay safe
+	// under EvaluateBatched's concurrency.
+	y  *tensor.Tensor
+	dx *tensor.Tensor
 }
 
 // NewDense constructs a dense layer with He-initialised weights drawn from
@@ -45,10 +51,14 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != d.In {
 		panic(fmt.Sprintf("nn: dense forward shape %v, want (N, %d)", x.Shape(), d.In))
 	}
+	var y *tensor.Tensor
 	if train {
 		d.x = x
+		d.y = ensureTensor(d.y, n, d.Out)
+		y = d.y
+	} else {
+		y = tensor.New(n, d.Out)
 	}
-	y := tensor.New(n, d.Out)
 	tensor.MatMulInto(y, x, d.W)
 	for i := 0; i < n; i++ {
 		row := y.Data[i*d.Out : (i+1)*d.Out]
@@ -73,7 +83,8 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			d.GradB.Data[j] += g
 		}
 	}
-	dx := tensor.New(n, d.In)
+	d.dx = ensureTensor(d.dx, n, d.In)
+	dx := d.dx
 	tensor.MatMulTransposeB(dx, gradOut, d.W)
 	return dx
 }

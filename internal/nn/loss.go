@@ -15,11 +15,25 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 	if logits.Rank() != 2 {
 		panic(fmt.Sprintf("nn: logits shape %v, want (N, K)", logits.Shape()))
 	}
+	grad = tensor.New(logits.Dim(0), logits.Dim(1))
+	loss = SoftmaxCrossEntropyInto(grad, logits, labels)
+	return loss, grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the logit gradient
+// into a caller-provided (N, K) tensor, so training loops can reuse one
+// gradient buffer across steps. Every element of grad is overwritten.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss float64) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: logits shape %v, want (N, K)", logits.Shape()))
+	}
 	n, k := logits.Dim(0), logits.Dim(1)
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
 	}
-	grad = tensor.New(n, k)
+	if grad.Rank() != 2 || grad.Dim(0) != n || grad.Dim(1) != k {
+		panic(fmt.Sprintf("nn: loss grad shape %v, want %v", grad.Shape(), logits.Shape()))
+	}
 	total := 0.0
 	for i := 0; i < n; i++ {
 		row := logits.Data[i*k : (i+1)*k]
@@ -46,7 +60,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 		}
 		gRow[lbl] -= 1 / float64(n)
 	}
-	return total / float64(n), grad
+	return total / float64(n)
 }
 
 // Predict returns the argmax class of each row of logits.

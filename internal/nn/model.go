@@ -18,6 +18,10 @@ type Model struct {
 	// dimension), e.g. [1, 28, 28] for the paper CNN.
 	InputShape []int
 	Classes    int
+
+	// lossGrad is the reused logit-gradient buffer of TrainBatch. Training
+	// is single-threaded per model, so one scratch tensor suffices.
+	lossGrad *tensor.Tensor
 }
 
 // NewModel wraps layers into a model. inputShape is the per-sample shape.
@@ -46,8 +50,9 @@ func (m *Model) Backward(grad *tensor.Tensor) {
 // Callers are responsible for zeroing gradients between steps.
 func (m *Model) TrainBatch(x *tensor.Tensor, labels []int) float64 {
 	logits := m.Forward(x, true)
-	loss, grad := SoftmaxCrossEntropy(logits, labels)
-	m.Backward(grad)
+	m.lossGrad = ensureTensor(m.lossGrad, logits.Dim(0), logits.Dim(1))
+	loss := SoftmaxCrossEntropyInto(m.lossGrad, logits, labels)
+	m.Backward(m.lossGrad)
 	return loss
 }
 

@@ -15,6 +15,10 @@ type MaxPool2D struct {
 
 	argmax  []int // flat input index of each output's max, for backward
 	inShape []int
+
+	// Train-mode buffers recycled across steps (see ensureTensor).
+	y  *tensor.Tensor
+	dx *tensor.Tensor
 }
 
 // NewMaxPool2D returns a pooling layer with the given window size.
@@ -39,10 +43,17 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: maxpool input %dx%d not divisible by %d", h, w, s))
 	}
 	oh, ow := h/s, w/s
-	y := tensor.New(n, c, oh, ow)
+	var y *tensor.Tensor
 	var argmax []int
 	if train {
-		argmax = make([]int, n*c*oh*ow)
+		p.y = ensureTensor(p.y, n, c, oh, ow)
+		y = p.y
+		if cap(p.argmax) < n*c*oh*ow {
+			p.argmax = make([]int, n*c*oh*ow)
+		}
+		argmax = p.argmax[:n*c*oh*ow]
+	} else {
+		y = tensor.New(n, c, oh, ow)
 	}
 	for nc := 0; nc < n*c; nc++ {
 		inPlane := x.Data[nc*h*w:][: h*w : h*w]
@@ -69,7 +80,7 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	if train {
 		p.argmax = argmax
-		p.inShape = []int{n, c, h, w}
+		p.inShape = append(p.inShape[:0], n, c, h, w)
 	}
 	return y
 }
@@ -79,7 +90,9 @@ func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if p.argmax == nil {
 		panic("nn: maxpool backward before forward")
 	}
-	dx := tensor.New(p.inShape...)
+	p.dx = ensureTensor(p.dx, p.inShape...)
+	dx := p.dx
+	dx.Zero() // gradients scatter with +=
 	for i, g := range gradOut.Data {
 		dx.Data[p.argmax[i]] += g
 	}
@@ -102,7 +115,7 @@ func (f *Flatten) Name() string { return "flatten" }
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	if train {
-		f.inShape = append([]int(nil), x.Shape()...)
+		f.inShape = append(f.inShape[:0], x.Shape()...)
 	}
 	return x.Reshape(n, x.Size()/n)
 }

@@ -1,0 +1,38 @@
+package nn
+
+import "adafl/internal/tensor"
+
+// ensureTensor returns a tensor of exactly the given shape, reusing t's
+// backing storage when the element count matches. Layers use it for their
+// train-mode activation and gradient buffers: within one training step the
+// backward pass completes before the next forward, so per-layer buffers can
+// be recycled across steps without aliasing live data. The contents are NOT
+// cleared — callers that accumulate must Zero() explicitly.
+//
+// Eval-mode forwards must not use per-layer buffers: Model.EvaluateBatched
+// runs eval forwards concurrently on a shared model.
+func ensureTensor(t *tensor.Tensor, shape ...int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if t == nil || len(t.Data) != n {
+		return tensor.New(shape...)
+	}
+	if sameShape(t.Shape(), shape) {
+		return t
+	}
+	return tensor.FromSlice(t.Data, shape...)
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

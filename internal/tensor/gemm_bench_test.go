@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"adafl/internal/stats"
+)
+
+// The benchmark shapes are the GEMMs the paper CNN actually runs per
+// sample (see internal/nn/zoo.go): conv1 lowers to (20×25)@(25×576),
+// conv2 to (50×500)@(500×64), the dense head to (N×800)@(800×500); the
+// 32-row variant models a batched im2col GEMM.
+var gemmShapes = []struct{ m, k, n int }{
+	{20, 25, 576},  // conv1: OutC × CKK × OH·OW
+	{50, 500, 64},  // conv2
+	{32, 500, 576}, // batched conv-shape GEMM
+	{8, 800, 500},  // dense head, batch 8
+}
+
+func randMat(m, n int, seed uint64) *Tensor {
+	t := New(m, n)
+	t.RandNorm(stats.NewRNG(seed), 1)
+	return t
+}
+
+// BenchmarkMatMul measures the production MatMulInto kernel at the
+// paper-CNN shapes (single-threaded; the parallel path is gated off by
+// the worker budget during benchmarks).
+func BenchmarkMatMul(b *testing.B) {
+	for _, s := range gemmShapes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			old := MatMulWorkers()
+			SetMatMulWorkers(1)
+			defer SetMatMulWorkers(old)
+			a := randMat(s.m, s.k, 1)
+			bb := randMat(s.k, s.n, 2)
+			c := New(s.m, s.n)
+			b.SetBytes(int64(8 * s.m * s.k * s.n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(c, a, bb)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulNaive measures the retained seed kernel (the naive
+// i-p-j loop) at the same shapes, so every PR can verify the blocked
+// kernel's speedup without checking out the seed.
+func BenchmarkMatMulNaive(b *testing.B) {
+	for _, s := range gemmShapes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := randMat(s.m, s.k, 1)
+			bb := randMat(s.k, s.n, 2)
+			c := New(s.m, s.n)
+			b.SetBytes(int64(8 * s.m * s.k * s.n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				naiveMatMulInto(c, a, bb)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulParallel measures the row-parallel path with a forced
+// worker budget of 4, at the largest bench shape.
+func BenchmarkMatMulParallel(b *testing.B) {
+	old := MatMulWorkers()
+	SetMatMulWorkers(4)
+	defer SetMatMulWorkers(old)
+	s := gemmShapes[2]
+	a := randMat(s.m, s.k, 1)
+	bb := randMat(s.k, s.n, 2)
+	c := New(s.m, s.n)
+	b.SetBytes(int64(8 * s.m * s.k * s.n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(c, a, bb)
+	}
+}
+
+// BenchmarkMatMulTransposeA/B cover the backward-pass kernels at the
+// conv2 weight-gradient and dense input-gradient shapes.
+func BenchmarkMatMulTransposeA(b *testing.B) {
+	// dcols = Wᵀ @ g: a (50×500), b (50×64) -> c (500×64)
+	a := randMat(50, 500, 1)
+	g := randMat(50, 64, 2)
+	c := New(500, 64)
+	b.SetBytes(int64(8 * 50 * 500 * 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		MatMulTransposeA(c, a, g)
+	}
+}
+
+func BenchmarkMatMulTransposeB(b *testing.B) {
+	// dx = gradOut @ Wᵀ: a (8×500), b (800×500) -> c (8×800)
+	a := randMat(8, 500, 1)
+	w := randMat(800, 500, 2)
+	c := New(8, 800)
+	b.SetBytes(int64(8 * 8 * 500 * 800))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransposeB(c, a, w)
+	}
+}

@@ -1,0 +1,91 @@
+package tensor
+
+// Naive reference kernels: the seed implementations of the four matmul
+// variants, retained verbatim so the blocked kernels in gemm.go can be
+// checked for numerical equivalence (gemm_test.go) and benchmarked for
+// speedup (gemm_bench_test.go) without checking out an old revision. They
+// must not be called from production code paths.
+
+// naiveMatMulInto computes c = a @ b with the seed's i-p-j loop.
+func naiveMatMulInto(c, a, b *Tensor) {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	if c.Dim(0) != m || c.Dim(1) != n {
+		panic("tensor: naiveMatMulInto output shape mismatch")
+	}
+	c.Zero()
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// naiveMatMulTransposeB computes c = a @ bᵀ with the seed's dot loop.
+func naiveMatMulTransposeB(c, a, b *Tensor) {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
+	if b.Dim(1) != k || c.Dim(0) != m || c.Dim(1) != n {
+		panic("tensor: naiveMatMulTransposeB shape mismatch")
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			sum := 0.0
+			for p, av := range arow {
+				sum += av * brow[p]
+			}
+			crow[j] = sum
+		}
+	}
+}
+
+// naiveMatMulTransposeBAdd computes c += a @ bᵀ.
+func naiveMatMulTransposeBAdd(c, a, b *Tensor) {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
+	if b.Dim(1) != k || c.Dim(0) != m || c.Dim(1) != n {
+		panic("tensor: naiveMatMulTransposeBAdd shape mismatch")
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			sum := 0.0
+			for p, av := range arow {
+				sum += av * brow[p]
+			}
+			crow[j] += sum
+		}
+	}
+}
+
+// naiveMatMulTransposeA computes c += aᵀ @ b with the seed's p-i-j loop.
+func naiveMatMulTransposeA(c, a, b *Tensor) {
+	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	if b.Dim(0) != k || c.Dim(0) != m || c.Dim(1) != n {
+		panic("tensor: naiveMatMulTransposeA shape mismatch")
+	}
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"adafl/internal/stats"
+)
+
+// relClose reports whether x and y agree within tol relative tolerance.
+func relClose(x, y, tol float64) bool {
+	d := math.Abs(x - y)
+	scale := math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+	return d <= tol*scale
+}
+
+func assertTensorsClose(t *testing.T, got, want *Tensor, tol float64, label string) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: size %d vs %d", label, len(got.Data), len(want.Data))
+	}
+	for i := range got.Data {
+		if !relClose(got.Data[i], want.Data[i], tol) {
+			t.Fatalf("%s: element %d: got %v want %v", label, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// equivalenceShapes deliberately includes shapes that are not multiples of
+// the 4×4 micro-kernel or the KC/NC cache blocks, plus degenerate 1-sized
+// dimensions and the paper-CNN GEMM shapes.
+var equivalenceShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 7, 1},
+	{3, 5, 2},
+	{4, 4, 4},
+	{5, 9, 6},
+	{7, 13, 11},
+	{8, 300, 5}, // crosses a KC block boundary mid-reduction
+	{16, 16, 16},
+	{23, 31, 17},
+	{20, 25, 576}, // conv1
+	{50, 500, 64}, // conv2
+	{33, 257, 65}, // every dimension one past a block/kernel multiple
+}
+
+// TestBlockedMatMulMatchesNaive checks all four blocked kernels against the
+// retained seed kernels within 1e-9 relative tolerance, serial and with a
+// forced worker budget.
+func TestBlockedMatMulMatchesNaive(t *testing.T) {
+	simdModes := []bool{false}
+	if detectSIMD() {
+		simdModes = append(simdModes, true)
+	}
+	oldSIMD := simdEnabled
+	defer func() { simdEnabled = oldSIMD }()
+	for _, simd := range simdModes {
+		simdEnabled = simd
+		testBlockedMatMulMatchesNaive(t, simd)
+	}
+}
+
+func testBlockedMatMulMatchesNaive(t *testing.T, simd bool) {
+	for _, workers := range []int{1, 4} {
+		old := MatMulWorkers()
+		SetMatMulWorkers(workers)
+		for _, s := range equivalenceShapes {
+			label := fmt.Sprintf("simd%v-w%d-%dx%dx%d", simd, workers, s.m, s.k, s.n)
+			r := stats.NewRNG(uint64(s.m*1000000 + s.k*1000 + s.n))
+
+			// c = a @ b
+			a := New(s.m, s.k)
+			a.RandNorm(r, 1)
+			b := New(s.k, s.n)
+			b.RandNorm(r, 1)
+			got, want := New(s.m, s.n), New(s.m, s.n)
+			MatMulInto(got, a, b)
+			naiveMatMulInto(want, a, b)
+			assertTensorsClose(t, got, want, 1e-9, label+"-MatMulInto")
+
+			// c = a @ btᵀ with bt (n×k)
+			bt := New(s.n, s.k)
+			bt.RandNorm(r, 1)
+			got.Zero()
+			want.Zero()
+			MatMulTransposeB(got, a, bt)
+			naiveMatMulTransposeB(want, a, bt)
+			assertTensorsClose(t, got, want, 1e-9, label+"-MatMulTransposeB")
+
+			// c += a @ btᵀ on a shared non-zero starting point
+			base := New(s.m, s.n)
+			base.RandNorm(r, 1)
+			got = base.Clone()
+			want = base.Clone()
+			MatMulTransposeBAdd(got, a, bt)
+			naiveMatMulTransposeBAdd(want, a, bt)
+			assertTensorsClose(t, got, want, 1e-9, label+"-MatMulTransposeBAdd")
+
+			// c += atᵀ @ b with at (k×m)
+			at := New(s.k, s.m)
+			at.RandNorm(r, 1)
+			got = base.Clone()
+			want = base.Clone()
+			MatMulTransposeA(got, at, b)
+			naiveMatMulTransposeA(want, at, b)
+			assertTensorsClose(t, got, want, 1e-9, label+"-MatMulTransposeA")
+		}
+		SetMatMulWorkers(old)
+	}
+}
+
+// TestParallelMatMulBitIdentical verifies the row-parallel path produces
+// bit-identical output to the serial path: each row's accumulation order is
+// independent of the worker partition, so determinism must be exact.
+func TestParallelMatMulBitIdentical(t *testing.T) {
+	r := stats.NewRNG(42)
+	a := New(64, 300)
+	a.RandNorm(r, 1)
+	b := New(300, 96)
+	b.RandNorm(r, 1)
+
+	old := MatMulWorkers()
+	defer SetMatMulWorkers(old)
+
+	SetMatMulWorkers(1)
+	serial := New(64, 96)
+	MatMulInto(serial, a, b)
+
+	for _, w := range []int{2, 3, 8} {
+		SetMatMulWorkers(w)
+		par := New(64, 96)
+		MatMulInto(par, a, b)
+		for i := range par.Data {
+			if par.Data[i] != serial.Data[i] {
+				t.Fatalf("workers=%d: element %d differs: %v vs %v", w, i, par.Data[i], serial.Data[i])
+			}
+		}
+	}
+}
+
+// TestWorkerBudgetRestored checks tokens drain back after parallel calls.
+func TestWorkerBudgetRestored(t *testing.T) {
+	old := MatMulWorkers()
+	defer SetMatMulWorkers(old)
+	SetMatMulWorkers(4)
+	r := stats.NewRNG(7)
+	a := New(64, 300)
+	a.RandNorm(r, 1)
+	b := New(300, 96)
+	b.RandNorm(r, 1)
+	c := New(64, 96)
+	for i := 0; i < 10; i++ {
+		MatMulInto(c, a, b)
+	}
+	if free := helperTokens.Load(); free != 3 {
+		t.Fatalf("helper tokens leaked: have %d free of 3", free)
+	}
+}
+
+func mustPanic(t *testing.T, label string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", label)
+		}
+	}()
+	fn()
+}
+
+// TestMatMulShapePanics covers the shape guards of all matmul variants:
+// mismatched inner dimensions, wrong output shapes and non-2D operands.
+func TestMatMulShapePanics(t *testing.T) {
+	a := New(3, 4)  // m×k
+	b := New(4, 5)  // k×n
+	bt := New(5, 4) // n×k
+	at := New(4, 3) // k×m
+	c := New(3, 5)  // m×n
+	bad := New(2, 2)
+	vec := New(4)
+
+	mustPanic(t, "MatMul inner", func() { MatMul(a, bad) })
+	mustPanic(t, "MatMul rank", func() { MatMul(a, vec) })
+
+	mustPanic(t, "MatMulInto inner", func() { MatMulInto(c, a, bad) })
+	mustPanic(t, "MatMulInto out", func() { MatMulInto(bad, a, b) })
+	mustPanic(t, "MatMulInto rank", func() { MatMulInto(c, vec, b) })
+
+	mustPanic(t, "MatMulTransposeB inner", func() { MatMulTransposeB(c, a, New(5, 3)) })
+	mustPanic(t, "MatMulTransposeB out", func() { MatMulTransposeB(bad, a, bt) })
+	mustPanic(t, "MatMulTransposeB rank", func() { MatMulTransposeB(c, a, vec) })
+
+	mustPanic(t, "MatMulTransposeBAdd inner", func() { MatMulTransposeBAdd(c, a, New(5, 3)) })
+	mustPanic(t, "MatMulTransposeBAdd out", func() { MatMulTransposeBAdd(bad, a, bt) })
+
+	mustPanic(t, "MatMulTransposeA inner", func() { MatMulTransposeA(c, at, New(3, 5)) })
+	mustPanic(t, "MatMulTransposeA out", func() { MatMulTransposeA(bad, at, b) })
+	mustPanic(t, "MatMulTransposeA rank", func() { MatMulTransposeA(c, vec, b) })
+
+	// Valid calls must not panic after all that.
+	MatMulInto(c, a, b)
+	MatMulTransposeB(c, a, bt)
+	MatMulTransposeBAdd(c, a, bt)
+	MatMulTransposeA(c, at, b)
+}
+
+// TestScratchPoolRoundTrip checks GetScratch length semantics and reuse.
+func TestScratchPoolRoundTrip(t *testing.T) {
+	s := GetScratch(100)
+	if len(s) != 100 {
+		t.Fatalf("GetScratch(100) returned len %d", len(s))
+	}
+	for i := range s {
+		s[i] = float64(i)
+	}
+	PutScratch(s)
+	s2 := GetScratch(50)
+	if len(s2) != 50 {
+		t.Fatalf("GetScratch(50) returned len %d", len(s2))
+	}
+	PutScratch(s2)
+}

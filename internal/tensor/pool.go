@@ -1,0 +1,37 @@
+package tensor
+
+import "sync"
+
+// Scratch-buffer pool. Hot paths that need temporary float64 storage whose
+// lifetime is a single call — im2col patch matrices on the concurrent
+// evaluation path, codec magnitude scratch — borrow from this pool instead
+// of allocating, so steady-state training and evaluation stop exercising
+// the garbage collector.
+
+// scratchPool holds *[]float64 so Put does not allocate a fresh interface
+// box for the slice header on every call.
+var scratchPool = sync.Pool{New: func() any { s := make([]float64, 0, 1024); return &s }}
+
+// GetScratch returns a slice of length n with unspecified contents. Callers
+// that need zeroed memory must clear it themselves. Return the slice with
+// PutScratch when done; never retain it past the call that borrowed it.
+func GetScratch(n int) []float64 {
+	sp := scratchPool.Get().(*[]float64)
+	if cap(*sp) >= n {
+		return (*sp)[:n]
+	}
+	// Too small for this request: recycle the old buffer for smaller
+	// callers and allocate at the requested size (rounded up a little so
+	// near-miss sizes converge instead of thrashing).
+	scratchPool.Put(sp)
+	return make([]float64, n, n+n/8)
+}
+
+// PutScratch returns a buffer obtained from GetScratch to the pool.
+func PutScratch(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	scratchPool.Put(&s)
+}

@@ -139,106 +139,13 @@ func (t *Tensor) Scale(s float64) {
 }
 
 // MatMul computes c = a @ b for 2-D tensors, writing into a freshly
-// allocated result. a is (m×k), b is (k×n).
+// allocated result. a is (m×k), b is (k×n). The blocked kernels behind
+// MatMulInto (see gemm.go) do the work.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(1) != b.Dim(0) {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.shape, b.shape))
 	}
-	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
-	c := New(m, n)
+	c := New(a.Dim(0), b.Dim(1))
 	MatMulInto(c, a, b)
-	_ = k
 	return c
-}
-
-// MatMulInto computes c = a @ b into an existing (m×n) tensor. The loop
-// order (i, p, j) streams both b and c rows sequentially, which is the
-// cache-friendly ordering for row-major data.
-func MatMulInto(c, a, b *Tensor) {
-	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
-	if c.Dim(0) != m || c.Dim(1) != n {
-		panic("tensor: MatMulInto output shape mismatch")
-	}
-	c.Zero()
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-}
-
-// MatMulTransposeB computes c = a @ bᵀ where a is (m×k) and b is (n×k),
-// writing into the existing (m×n) tensor c. This avoids materialising the
-// transpose in dense-layer backward passes.
-func MatMulTransposeB(c, a, b *Tensor) {
-	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
-	if b.Dim(1) != k || c.Dim(0) != m || c.Dim(1) != n {
-		panic("tensor: MatMulTransposeB shape mismatch")
-	}
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			sum := 0.0
-			for p, av := range arow {
-				sum += av * brow[p]
-			}
-			crow[j] = sum
-		}
-	}
-}
-
-// MatMulTransposeBAdd computes c += a @ bᵀ where a is (m×k) and b is
-// (n×k), accumulating into the existing (m×n) tensor c — the form
-// weight-gradient accumulation across mini-batches wants.
-func MatMulTransposeBAdd(c, a, b *Tensor) {
-	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
-	if b.Dim(1) != k || c.Dim(0) != m || c.Dim(1) != n {
-		panic("tensor: MatMulTransposeBAdd shape mismatch")
-	}
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			sum := 0.0
-			for p, av := range arow {
-				sum += av * brow[p]
-			}
-			crow[j] += sum
-		}
-	}
-}
-
-// MatMulTransposeA computes c = aᵀ @ b where a is (k×m) and b is (k×n),
-// accumulating into the existing (m×n) tensor c (callers zero it if needed;
-// accumulation is what weight-gradient computation wants across batches).
-func MatMulTransposeA(c, a, b *Tensor) {
-	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
-	if b.Dim(0) != k || c.Dim(0) != m || c.Dim(1) != n {
-		panic("tensor: MatMulTransposeA shape mismatch")
-	}
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := c.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
 }

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-gemm bench-train
+.PHONY: check vet build test race fuzz bench bench-gemm bench-train
 
 check: vet build test race
 
@@ -18,9 +18,16 @@ test:
 	$(GO) test ./...
 
 # The packages that spawn goroutines (parallel GEMM, parallel evaluation,
-# parallel client rounds) under the race detector.
+# parallel client rounds, the concurrent RPC round engine and its chaos
+# suite) under the race detector.
 race:
-	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/...
+	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/...
+
+# Short fuzzing smoke over the wire decoder: corrupted/truncated gob
+# streams must error, never panic. CI-friendly 10s budget; raise
+# -fuzztime locally for a deeper run.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/rpc/
 
 # Hot-path microbenchmarks with allocation stats; see DESIGN.md §GEMM for
 # how these map onto BENCH_1.json.

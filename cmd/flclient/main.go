@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"adafl/internal/core"
 	"adafl/internal/dataset"
@@ -33,6 +34,9 @@ func main() {
 	steps := flag.Int("steps", 4, "local SGD steps per round")
 	batch := flag.Int("batch", 16, "batch size")
 	lr := flag.Float64("lr", 0.1, "learning rate")
+	retries := flag.Int("retries", 3, "consecutive failed redial attempts tolerated (budget resets once a connection makes progress)")
+	backoff := flag.Duration("retry-backoff", 200*time.Millisecond, "initial redial backoff (doubles per attempt)")
+	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *id < 0 || *id >= *clients {
@@ -64,11 +68,13 @@ func main() {
 		Utility: cfg.Utility, UpBps: *upbps, DownBps: *downbps,
 		ThrottleUplink: *throttle,
 		DGCMomentum:    cfg.DGCMomentum, DGCClip: cfg.DGCClip, DGCMsgClip: cfg.DGCMsgClip,
-		Seed: *seed + 100 + uint64(*id),
+		Seed:       *seed + 100 + uint64(*id),
+		MaxRetries: *retries, RetryBackoff: *backoff,
+		Fault: faults.Config(),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("client %d: rounds=%d uploads=%d sent=%.1fKB\n",
-		*id, res.Rounds, res.Uploads, float64(res.BytesSent)/1e3)
+	fmt.Printf("client %d: rounds=%d uploads=%d sent=%.1fKB reconnects=%d\n",
+		*id, res.Rounds, res.Uploads, float64(res.BytesSent)/1e3, res.Reconnects)
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"adafl/internal/core"
 	"adafl/internal/dataset"
@@ -36,6 +37,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "shared experiment seed")
 	imgSize := flag.Int("imgsize", 16, "synthetic image size")
 	samples := flag.Int("samples", 2000, "total synthetic samples")
+	straggler := flag.Duration("straggler-timeout", 30*time.Second, "per-phase deadline before a laggard is evicted")
+	minClients := flag.Int("min-clients", 1, "roster floor: end the session cleanly below this many live clients")
+	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *k <= 0 {
@@ -62,6 +66,8 @@ func main() {
 	srv, err := rpc.NewServer(rpc.ServerConfig{
 		Addr: *addr, NumClients: *clients, Rounds: *rounds,
 		Cfg: cfg, NewModel: newModel, Test: test, EvalEvery: 1,
+		StragglerTimeout: *straggler, MinClients: *minClients,
+		Fault: faults.Config(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -71,7 +77,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("final accuracy: %.3f  uplink: %.1f KB  rounds: %d\n",
-		res.FinalAcc, float64(res.BytesReceived)/1e3, len(res.Rounds))
+	fmt.Printf("final accuracy: %.3f  uplink: %.1f KB  rounds: %d  evictions: %d%s\n",
+		res.FinalAcc, float64(res.BytesReceived)/1e3, len(res.Rounds), res.Evictions,
+		map[bool]string{true: "  (ended early: roster below min-clients)"}[res.EndedEarly])
 	os.Exit(0)
 }

@@ -1,9 +1,11 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"adafl/internal/compress"
 	"adafl/internal/core"
@@ -39,61 +41,144 @@ type ClientConfig struct {
 	Seed uint64
 	// Logf receives progress lines (log.Printf if nil).
 	Logf func(format string, args ...interface{})
+
+	// MaxRetries bounds how many consecutive failed redial/re-Hello
+	// attempts the client tolerates after losing the connection (0 =
+	// fail on first loss). The budget resets whenever a connection makes
+	// progress (receives at least one message). Training state —
+	// optimizer momentum, batch iterator, DGC residuals — is preserved
+	// across reconnects; the model resyncs from the server's next
+	// broadcast.
+	MaxRetries int
+	// RetryBackoff is the initial wait between redials; it doubles per
+	// attempt, capped at 5s. 0 means 200ms.
+	RetryBackoff time.Duration
+	// DialTimeout bounds each dial attempt. 0 means 10s.
+	DialTimeout time.Duration
+	// Fault, when non-nil, wraps the dialed connection with injected link
+	// faults (chaos testing and demos).
+	Fault *FaultConfig
 }
 
 // ClientResult summarises a completed client session.
 type ClientResult struct {
-	Rounds    int
-	Uploads   int
-	BytesSent int64
+	Rounds     int
+	Uploads    int
+	BytesSent  int64
+	Reconnects int
 }
 
-// RunClient connects to the server and participates until shutdown.
+// errProtocol marks unrecoverable protocol violations: reconnecting
+// cannot fix a peer that speaks the wrong protocol.
+var errProtocol = errors.New("protocol violation")
+
+const maxRetryBackoff = 5 * time.Second
+
+// RunClient connects to the server and participates until shutdown. Lost
+// connections are retried with exponential backoff up to MaxRetries; a
+// reconnected client re-registers and resumes at the server's next round.
 func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
-	raw, err := net.Dial("tcp", cfg.Addr)
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	initialBackoff := cfg.RetryBackoff
+	if initialBackoff <= 0 {
+		initialBackoff = 200 * time.Millisecond
+	}
+	sess := newClientSession(cfg)
+	backoff := initialBackoff
+	for retries := 0; ; {
+		done, progressed, err := sess.runOnce()
+		if done {
+			return sess.res, nil
+		}
+		if progressed {
+			// The link worked for a while: this loss is a fresh failure,
+			// not part of a consecutive-failure streak.
+			retries = 0
+			backoff = initialBackoff
+		}
+		if errors.Is(err, errProtocol) || retries >= cfg.MaxRetries {
+			return sess.res, err
+		}
+		retries++
+		cfg.Logf("client %d: link lost (%v); reconnect %d/%d in %v",
+			cfg.ID, err, retries, cfg.MaxRetries, backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxRetryBackoff {
+			backoff = maxRetryBackoff
+		}
+		sess.res.Reconnects++
+	}
+}
+
+// clientSession holds the state that survives reconnects.
+type clientSession struct {
+	cfg   ClientConfig
+	model *nn.Model
+	opt   *nn.SGD
+	iter  *dataset.Iterator
+	codec *compress.DGC
+	res   *ClientResult
+}
+
+func newClientSession(cfg ClientConfig) *clientSession {
+	return &clientSession{
+		cfg:   cfg,
+		model: cfg.NewModel(),
+		opt:   nn.NewSGD(cfg.LR, cfg.Momentum, 0),
+		iter:  dataset.NewIterator(cfg.Data, cfg.BatchSize, stats.NewRNG(cfg.Seed)),
+		codec: &compress.DGC{Momentum: cfg.DGCMomentum, ClipNorm: cfg.DGCClip, MsgClipFactor: cfg.DGCMsgClip},
+		res:   &ClientResult{},
+	}
+}
+
+// runOnce dials, registers and participates until shutdown (done=true) or
+// a connection/protocol error (done=false, err != nil). progressed
+// reports whether the connection got far enough to receive a message.
+func (s *clientSession) runOnce() (done, progressed bool, err error) {
+	cfg := s.cfg
+	raw, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
 	if err != nil {
-		return nil, err
+		return false, false, err
 	}
 	var throttle *TokenBucket
 	if cfg.ThrottleUplink && cfg.UpBps > 0 {
 		throttle = NewTokenBucket(cfg.UpBps)
 	}
-	conn := NewConn(raw, throttle)
-	defer conn.Close()
+	conn := NewConn(WrapFault(raw, cfg.Fault), throttle)
+	defer func() {
+		s.res.BytesSent += conn.BytesSent()
+		conn.Close()
+	}()
 
 	if err := conn.Send(&Envelope{Type: MsgHello, ClientID: cfg.ID, NumSamples: cfg.Data.Len()}); err != nil {
-		return nil, err
+		return false, false, err
 	}
-
-	model := cfg.NewModel()
-	opt := nn.NewSGD(cfg.LR, cfg.Momentum, 0)
-	iter := dataset.NewIterator(cfg.Data, cfg.BatchSize, stats.NewRNG(cfg.Seed))
-	codec := &compress.DGC{Momentum: cfg.DGCMomentum, ClipNorm: cfg.DGCClip, MsgClipFactor: cfg.DGCMsgClip}
-	res := &ClientResult{}
 
 	for {
 		e, err := conn.Recv()
 		if err != nil {
-			return res, fmt.Errorf("rpc: client %d recv: %w", cfg.ID, err)
+			return false, progressed, fmt.Errorf("rpc: client %d recv: %w", cfg.ID, err)
 		}
+		progressed = true
 		switch e.Type {
 		case MsgShutdown:
 			cfg.Logf("client %d: shutdown (%s)", cfg.ID, e.Info)
-			res.BytesSent = conn.BytesSent()
-			return res, nil
+			return true, true, nil
 		case MsgModel:
 			// Local training from the received global model.
-			model.SetParamVector(e.Params)
-			for s := 0; s < cfg.LocalSteps; s++ {
-				x, labels := iter.Next()
-				model.ZeroGrads()
-				model.TrainBatch(x, labels)
-				opt.Step(model)
+			s.model.SetParamVector(e.Params)
+			for step := 0; step < cfg.LocalSteps; step++ {
+				x, labels := s.iter.Next()
+				s.model.ZeroGrads()
+				s.model.TrainBatch(x, labels)
+				s.opt.Step(s.model)
 			}
-			local := model.ParamVector()
+			local := s.model.ParamVector()
 			delta := make([]float64, len(local))
 			tensor.SubVec(delta, local, e.Params)
 			// Utility score against the server-provided ĝ.
@@ -102,24 +187,27 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 				score = 1 // warm-up: everyone reports full utility
 			}
 			if err := conn.Send(&Envelope{Type: MsgScore, ClientID: cfg.ID, Round: e.Round, Score: score}); err != nil {
-				return res, err
+				return false, true, err
 			}
 			// Await the selection decision.
 			sel, err := conn.Recv()
-			if err != nil || sel.Type != MsgSelect {
-				return res, fmt.Errorf("rpc: client %d expected select: %v", cfg.ID, err)
+			if err != nil {
+				return false, true, fmt.Errorf("rpc: client %d recv select: %w", cfg.ID, err)
 			}
-			res.Rounds++
+			if sel.Type != MsgSelect {
+				return false, true, fmt.Errorf("rpc: client %d expected select, got %v: %w", cfg.ID, sel.Type, errProtocol)
+			}
+			s.res.Rounds++
 			if sel.Ratio <= 0 {
 				continue // withheld this round
 			}
-			msg := codec.Encode(delta, sel.Ratio)
+			msg := s.codec.Encode(delta, sel.Ratio)
 			if err := conn.Send(&Envelope{Type: MsgUpdate, ClientID: cfg.ID, Round: e.Round, Update: msg}); err != nil {
-				return res, err
+				return false, true, err
 			}
-			res.Uploads++
+			s.res.Uploads++
 		default:
-			return res, fmt.Errorf("rpc: client %d unexpected message %v", cfg.ID, e.Type)
+			return false, true, fmt.Errorf("rpc: client %d unexpected message %v: %w", cfg.ID, e.Type, errProtocol)
 		}
 	}
 }

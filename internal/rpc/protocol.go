@@ -9,6 +9,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"adafl/internal/compress"
 )
@@ -59,13 +62,18 @@ type Envelope struct {
 	Info string
 }
 
-// Conn wraps a net.Conn with gob codecs and byte accounting.
+// Conn wraps a net.Conn with gob codecs and byte accounting. Send and
+// Recv are individually goroutine-safe (each direction is serialised by
+// its own mutex), so the server's per-client round goroutines and a
+// concurrent shutdown path can share one Conn.
 type Conn struct {
-	raw net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
-	cw  *countingWriter
-	cr  *countingReader
+	raw    net.Conn
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	cw     *countingWriter
+	cr     *countingReader
 }
 
 // NewConn wraps raw. If throttle is non-nil it shapes writes.
@@ -85,6 +93,8 @@ func NewConn(raw net.Conn, throttle *TokenBucket) *Conn {
 
 // Send writes one envelope.
 func (c *Conn) Send(e *Envelope) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
 	if err := c.enc.Encode(e); err != nil {
 		return fmt.Errorf("rpc: send %v: %w", e.Type, err)
 	}
@@ -93,6 +103,8 @@ func (c *Conn) Send(e *Envelope) error {
 
 // Recv reads one envelope.
 func (c *Conn) Recv() (*Envelope, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
 	var e Envelope
 	if err := c.dec.Decode(&e); err != nil {
 		return nil, err
@@ -100,31 +112,39 @@ func (c *Conn) Recv() (*Envelope, error) {
 	return &e, nil
 }
 
-// BytesSent and BytesReceived report cumulative wire volume.
-func (c *Conn) BytesSent() int64     { return c.cw.n }
-func (c *Conn) BytesReceived() int64 { return c.cr.n }
+// SetReadDeadline bounds the next Recv: a blocked read returns an error
+// once t passes. The zero time clears the deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds the next Send the same way.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
+
+// BytesSent and BytesReceived report cumulative wire volume. They are safe
+// to read while the connection is in use.
+func (c *Conn) BytesSent() int64     { return c.cw.n.Load() }
+func (c *Conn) BytesReceived() int64 { return c.cr.n.Load() }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.raw.Close() }
 
 type countingWriter struct {
 	w net.Conn
-	n int64
+	n atomic.Int64
 }
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
-	c.n += int64(n)
+	c.n.Add(int64(n))
 	return n, err
 }
 
 type countingReader struct {
 	r net.Conn
-	n int64
+	n atomic.Int64
 }
 
 func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
-	c.n += int64(n)
+	c.n.Add(int64(n))
 	return n, err
 }

@@ -3,6 +3,7 @@ package rpc
 import (
 	"net"
 	"testing"
+	"time"
 
 	"adafl/internal/core"
 	"adafl/internal/dataset"
@@ -10,21 +11,25 @@ import (
 	"adafl/internal/stats"
 )
 
-// TestServerClientDisconnectMidRound ensures the server surfaces a clean
-// error (rather than hanging) when a registered client vanishes.
-func TestServerClientDisconnectMidRound(t *testing.T) {
+// TestServerClientDisconnectEndsCleanly: when the only client vanishes the
+// server evicts it, falls below MinClients and ends the session cleanly —
+// a partial result with no error, rather than an abort or a hang.
+func TestServerClientDisconnectEndsCleanly(t *testing.T) {
 	newModel := func() *nn.Model { return nn.NewLogistic(4, 2, stats.NewRNG(1)) }
 	cfg := core.DefaultConfig()
 	srv, err := NewServer(ServerConfig{
 		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 5,
 		Cfg: cfg, NewModel: newModel, Logf: quiet,
+		StragglerTimeout: 500 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	resCh := make(chan *ServerResult, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := srv.Run()
+		res, err := srv.Run()
+		resCh <- res
 		errCh <- err
 	}()
 	raw, err := net.Dial("tcp", srv.Addr())
@@ -40,13 +45,96 @@ func TestServerClientDisconnectMidRound(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Close()
-	if err := <-errCh; err == nil {
-		t.Fatal("server did not report the lost client")
+	res := <-resCh
+	if err := <-errCh; err != nil {
+		t.Fatalf("session should end cleanly, got %v", err)
+	}
+	if !res.EndedEarly {
+		t.Fatal("lost-client session not flagged EndedEarly")
+	}
+	if res.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", res.Evictions)
+	}
+	if len(res.Rounds) >= 5 {
+		t.Fatalf("session ran all %d rounds with no clients", len(res.Rounds))
 	}
 }
 
+// TestServerRejectsDuplicateIDs: a second registration with a live id is
+// turned away with a shutdown message, and the session is unharmed.
+func TestServerRejectsDuplicateIDs(t *testing.T) {
+	newModel := func() *nn.Model { return nn.NewLogistic(4, 2, stats.NewRNG(1)) }
+	cfg := core.DefaultConfig()
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 2, Rounds: 2,
+		Cfg: cfg, NewModel: newModel, Logf: quiet,
+		StragglerTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dial := func() *Conn {
+		raw, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewConn(raw, nil)
+	}
+	resCh := make(chan *ServerResult, 1)
+	go func() {
+		res, err := srv.Run()
+		if err != nil {
+			t.Errorf("server: %v", err)
+		}
+		resCh <- res
+	}()
+	// waitReg blocks until the server has processed id's registration, so
+	// the duplicate below deterministically arrives second.
+	waitReg := func(id int) {
+		t.Helper()
+		for i := 0; i < 400; i++ {
+			srv.mu.Lock()
+			_, p := srv.pending[id]
+			_, r := srv.roster[id]
+			srv.mu.Unlock()
+			if p || r {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("client %d never registered", id)
+	}
+	c1 := dial()
+	if err := c1.Send(&Envelope{Type: MsgHello, ClientID: 0, NumSamples: 10}); err != nil {
+		t.Fatal(err)
+	}
+	waitReg(0)
+	c2 := dial()
+	if err := c2.Send(&Envelope{Type: MsgHello, ClientID: 0, NumSamples: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate is told to go away; the original connection stays up.
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if e, err := c2.Recv(); err == nil && e.Type != MsgShutdown {
+		t.Fatalf("duplicate got %v, want shutdown", e.Type)
+	}
+	c2.Close()
+	// Complete the quorum; the raw conns never answer, so the server
+	// evicts them and ends the session cleanly.
+	c3 := dial()
+	if err := c3.Send(&Envelope{Type: MsgHello, ClientID: 1, NumSamples: 10}); err != nil {
+		t.Fatal(err)
+	}
+	res := <-resCh
+	if !res.EndedEarly {
+		t.Fatal("mute-client session not flagged EndedEarly")
+	}
+	c1.Close()
+	c3.Close()
+}
+
 // TestClientRejectsUnexpectedMessage ensures protocol violations error out
-// instead of being silently misinterpreted.
+// instead of being silently misinterpreted — and are not retried.
 func TestClientRejectsUnexpectedMessage(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -64,15 +152,19 @@ func TestClientRejectsUnexpectedMessage(t *testing.T) {
 	}()
 
 	ds := tinyDataset(t)
-	_, err = RunClient(ClientConfig{
+	res, err := RunClient(ClientConfig{
 		Addr: ln.Addr().String(), ID: 0, Data: ds,
 		NewModel:   func() *nn.Model { return nn.NewImageMLP([]int{1, 16, 16}, []int{8}, 10, stats.NewRNG(2)) },
 		LocalSteps: 1, BatchSize: 4, LR: 0.1,
 		Utility: core.DefaultUtility(), UpBps: 1e6, DownBps: 1e6,
 		Logf: quiet, Seed: 3,
+		MaxRetries: 5, RetryBackoff: time.Millisecond,
 	})
 	if err == nil {
 		t.Fatal("client accepted a protocol violation")
+	}
+	if res.Reconnects != 0 {
+		t.Fatalf("protocol violation was retried %d times", res.Reconnects)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"net"
 	"sync"
 	"testing"
-	"time"
 
 	"adafl/internal/compress"
 	"adafl/internal/core"
@@ -14,35 +13,6 @@ import (
 )
 
 func quiet(string, ...interface{}) {}
-
-func TestTokenBucketRate(t *testing.T) {
-	var slept time.Duration
-	tb := NewTokenBucket(1000) // 1000 B/s
-	tb.sleep = func(d time.Duration) {
-		slept += d
-		// Simulate time passing by refilling manually.
-		tb.mu.Lock()
-		tb.tokens += d.Seconds() * tb.rate
-		tb.mu.Unlock()
-	}
-	tb.Take(500) // within initial burst
-	if slept != 0 {
-		t.Fatalf("burst should not sleep, slept %v", slept)
-	}
-	tb.Take(2000) // needs ~1.5s of tokens beyond the remaining 500
-	if slept < time.Second || slept > 3*time.Second {
-		t.Fatalf("unexpected total sleep %v", slept)
-	}
-}
-
-func TestTokenBucketPanicsOnBadRate(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero rate accepted")
-		}
-	}()
-	NewTokenBucket(0)
-}
 
 func TestConnRoundTrip(t *testing.T) {
 	a, b := net.Pipe()
@@ -218,43 +188,67 @@ func TestThrottledClientStillWorks(t *testing.T) {
 	}
 }
 
-func TestServerRejectsDuplicateIDs(t *testing.T) {
-	newModel := func() *nn.Model {
-		return nn.NewLogistic(4, 2, stats.NewRNG(1))
-	}
-	cfg := core.DefaultConfig()
-	srv, err := NewServer(ServerConfig{
-		Addr: "127.0.0.1:0", NumClients: 2, Rounds: 1,
-		Cfg: cfg, NewModel: newModel, Logf: quiet,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	dial := func() *Conn {
-		raw, err := net.Dial("tcp", srv.Addr())
-		if err != nil {
-			t.Fatal(err)
-		}
-		return NewConn(raw, nil)
-	}
-	errCh := make(chan error, 1)
-	go func() {
-		_, err := srv.Run()
-		errCh <- err
-	}()
-	c1 := dial()
-	c1.Send(&Envelope{Type: MsgHello, ClientID: 0, NumSamples: 10})
-	c2 := dial()
-	c2.Send(&Envelope{Type: MsgHello, ClientID: 0, NumSamples: 10})
-	if err := <-errCh; err == nil {
-		t.Fatal("duplicate id accepted")
-	}
-	c1.Close()
-	c2.Close()
-}
-
 func TestNewServerValidation(t *testing.T) {
 	if _, err := NewServer(ServerConfig{Addr: "127.0.0.1:0"}); err == nil {
 		t.Fatal("zero clients/rounds accepted")
+	}
+	if _, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", NumClients: 2, Rounds: 1, MinClients: 3}); err == nil {
+		t.Fatal("MinClients > NumClients accepted")
+	}
+}
+
+// TestServerSelectorSparseIDs regression-tests the eviction aftermath:
+// client IDs are no longer dense 0..n-1, and planning over a sparse or
+// shifted id set must neither panic nor select absent clients.
+func TestServerSelectorSparseIDs(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.K = 2
+	cfg.Tau = 0
+	cfg.Compression.WarmupRounds = 1
+	sel := newServerSelector(cfg)
+
+	// Warm-up over sparse ids selects everyone at the warmup ratio.
+	warm := sel.plan(0, map[int]float64{7: 0.9, 42: 0.2, 3: 0.5})
+	if len(warm) != 3 {
+		t.Fatalf("warmup selected %d of 3", len(warm))
+	}
+	for _, id := range []int{3, 7, 42} {
+		if _, ok := warm[id]; !ok {
+			t.Fatalf("warmup missed id %d", id)
+		}
+	}
+
+	// Post-warmup: ids far beyond len(scores) — the old vec[id] indexing
+	// panicked here.
+	scores := map[int]float64{5: 0.9, 107: 0.8, 3000: 0.7}
+	for round := 1; round < 6; round++ {
+		plan := sel.plan(round, scores)
+		if len(plan) == 0 || len(plan) > cfg.K {
+			t.Fatalf("round %d: plan size %d with K=%d", round, len(plan), cfg.K)
+		}
+		for id, ratio := range plan {
+			if _, ok := scores[id]; !ok {
+				t.Fatalf("round %d: selected absent client %d", round, id)
+			}
+			if ratio < 1 {
+				t.Fatalf("round %d: ratio %f < 1", round, ratio)
+			}
+		}
+	}
+	// Fairness: over successive rounds every client must get selected at
+	// least once despite a fixed score ordering.
+	seen := map[int]bool{}
+	for round := 1; round < 8; round++ {
+		for id := range sel.plan(round, scores) {
+			seen[id] = true
+		}
+	}
+	if len(seen) != len(scores) {
+		t.Fatalf("rotation starved clients: only %d of %d ever selected", len(seen), len(scores))
+	}
+
+	// An empty score set (every client evicted mid-round) plans nothing.
+	if plan := sel.plan(9, map[int]float64{}); len(plan) != 0 {
+		t.Fatalf("empty scores planned %d clients", len(plan))
 	}
 }

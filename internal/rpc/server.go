@@ -5,13 +5,24 @@ import (
 	"log"
 	"math"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
+	"adafl/internal/compress"
 	"adafl/internal/core"
 	"adafl/internal/dataset"
 	"adafl/internal/nn"
 	"adafl/internal/tensor"
 )
+
+// DefaultStragglerTimeout bounds each collect phase when the caller does
+// not configure one.
+const DefaultStragglerTimeout = 30 * time.Second
+
+// helloTimeout bounds the registration handshake on a freshly accepted
+// connection so a dialer that never speaks cannot pin a server goroutine.
+const helloTimeout = 5 * time.Second
 
 // ServerConfig configures a federation server.
 type ServerConfig struct {
@@ -30,32 +41,67 @@ type ServerConfig struct {
 	EvalEvery int
 	// Logf receives progress lines (log.Printf if nil).
 	Logf func(format string, args ...interface{})
+
+	// StragglerTimeout bounds each per-client collect (score and update).
+	// A client that has not answered within it is evicted and the round
+	// proceeds with the partial set. 0 means DefaultStragglerTimeout.
+	StragglerTimeout time.Duration
+	// WriteTimeout bounds each per-client send. 0 means StragglerTimeout.
+	WriteTimeout time.Duration
+	// MinClients is the roster floor: when evictions leave fewer live
+	// clients, the session ends cleanly with the rounds completed so far
+	// instead of erroring. 0 means 1.
+	MinClients int
+	// Fault, when non-nil, wraps every accepted connection with injected
+	// link faults (chaos testing and demos).
+	Fault *FaultConfig
+	// OnRound, when non-nil, is invoked synchronously after each round.
+	OnRound func(RoundRecord)
 }
 
 // RoundRecord is the server's per-round log entry.
 type RoundRecord struct {
 	Round    int
+	Clients  int // live roster size at round start
 	Selected int
 	Received int
+	Evicted  int // clients evicted during this round
 	TestAcc  float64
-	Bytes    int64
+	Bytes    int64 // uplink bytes received during this round
 }
 
 // ServerResult summarises a completed session.
 type ServerResult struct {
 	Rounds   []RoundRecord
 	FinalAcc float64
-	// BytesReceived is the total uplink volume across all clients.
+	// BytesReceived is the total uplink volume across all clients,
+	// accumulated round by round (evicted clients included).
 	BytesReceived int64
+	// Evictions counts clients dropped for deadline misses or dead links.
+	Evictions int
+	// EndedEarly is set when the roster fell below MinClients and the
+	// session stopped before completing the configured rounds.
+	EndedEarly bool
 }
 
-// Server drives synchronous AdaFL over TCP.
+// Server drives synchronous AdaFL over TCP. The round engine is straggler-
+// and fault-tolerant: broadcasts and collects run concurrently per client
+// under per-phase deadlines, laggards and dead links are evicted with
+// their samples removed from the FedAvg normalisation, and evicted or
+// late clients may re-register (a re-Hello) to join at the next round.
 type Server struct {
 	cfg      ServerConfig
 	listener net.Listener
 
-	mu      sync.Mutex
-	clients map[int]*clientConn
+	mu        sync.Mutex
+	cond      *sync.Cond
+	roster    map[int]*clientConn // live, participating this round
+	pending   map[int]*clientConn // registered, admitted at next round start
+	closing   bool                // shutdown underway: reject new registrations
+	acceptErr error               // terminal listener failure
+
+	evictedBytes int64 // uplink bytes from already-closed conns (under mu)
+	prevBytes    int64 // cumulative uplink total at end of previous round
 }
 
 type clientConn struct {
@@ -70,6 +116,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.NumClients <= 0 || cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("rpc: need positive NumClients and Rounds")
 	}
+	if cfg.MinClients > cfg.NumClients {
+		return nil, fmt.Errorf("rpc: MinClients %d exceeds NumClients %d", cfg.MinClients, cfg.NumClients)
+	}
+	if cfg.MinClients <= 0 {
+		cfg.MinClients = 1
+	}
+	if cfg.StragglerTimeout <= 0 {
+		cfg.StragglerTimeout = DefaultStragglerTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = cfg.StragglerTimeout
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
@@ -80,112 +138,288 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, listener: ln, clients: map[int]*clientConn{}}, nil
+	s := &Server{
+		cfg:      cfg,
+		listener: ln,
+		roster:   map[int]*clientConn{},
+		pending:  map[int]*clientConn{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
 }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Run accepts NumClients registrations, executes the configured rounds,
-// shuts the clients down and returns the session result.
+// Run accepts NumClients registrations, executes the configured rounds
+// (tolerating stragglers, dead links and re-joins), shuts the surviving
+// clients down and returns the session result.
 func (s *Server) Run() (*ServerResult, error) {
-	defer s.listener.Close()
-	if err := s.acceptAll(); err != nil {
+	go s.acceptLoop()
+	if err := s.waitForQuorum(); err != nil {
+		s.shutdown("listener failed")
 		return nil, err
 	}
 
 	model := s.cfg.NewModel()
 	global := model.ParamVector()
 	globalDelta := make([]float64, len(global))
-	totalSamples := 0
-	for _, c := range s.clients {
-		totalSamples += c.samples
-	}
 
 	res := &ServerResult{}
-	planner := newServerSelector(s.cfg.Cfg, s.cfg.NumClients)
+	planner := newServerSelector(s.cfg.Cfg)
 	for round := 0; round < s.cfg.Rounds; round++ {
-		rec, err := s.runRound(round, planner, model, global, globalDelta, totalSamples)
-		if err != nil {
-			return res, err
+		s.admitPending(round)
+		if live := s.liveCount(); live < s.cfg.MinClients {
+			s.cfg.Logf("server: %d live clients < MinClients %d, ending session after %d rounds",
+				live, s.cfg.MinClients, len(res.Rounds))
+			res.EndedEarly = true
+			break
 		}
+		rec := s.runRound(round, planner, model, global, globalDelta)
 		res.Rounds = append(res.Rounds, rec)
-		res.BytesReceived = rec.Bytes
-		if rec.TestAcc == rec.TestAcc && rec.TestAcc > 0 {
+		res.BytesReceived += rec.Bytes
+		res.Evictions += rec.Evicted
+		if !math.IsNaN(rec.TestAcc) && rec.TestAcc > 0 {
 			res.FinalAcc = rec.TestAcc
 		}
+		if s.cfg.OnRound != nil {
+			s.cfg.OnRound(rec)
+		}
 	}
-	s.shutdown(fmt.Sprintf("done: %d rounds, final acc %.3f", s.cfg.Rounds, res.FinalAcc))
+	s.shutdown(fmt.Sprintf("done: %d rounds, final acc %.3f", len(res.Rounds), res.FinalAcc))
 	return res, nil
 }
 
-func (s *Server) acceptAll() error {
-	for len(s.clients) < s.cfg.NumClients {
+// acceptLoop admits registrations for the whole session so that evicted
+// or slow-to-start clients can (re-)join at the next round boundary.
+func (s *Server) acceptLoop() {
+	for {
 		raw, err := s.listener.Accept()
 		if err != nil {
-			return err
+			s.mu.Lock()
+			if !s.closing {
+				s.acceptErr = err
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
 		}
-		conn := NewConn(raw, nil)
-		hello, err := conn.Recv()
-		if err != nil || hello.Type != MsgHello {
-			raw.Close()
-			return fmt.Errorf("rpc: bad hello: %v", err)
-		}
-		if _, dup := s.clients[hello.ClientID]; dup {
-			raw.Close()
-			return fmt.Errorf("rpc: duplicate client id %d", hello.ClientID)
-		}
-		s.clients[hello.ClientID] = &clientConn{id: hello.ClientID, conn: conn, samples: hello.NumSamples}
-		s.cfg.Logf("server: client %d registered (%d samples)", hello.ClientID, hello.NumSamples)
+		go s.handshake(raw)
 	}
-	return nil
 }
 
-func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
-	global, globalDelta []float64, totalSamples int) (RoundRecord, error) {
-	rec := RoundRecord{Round: round, TestAcc: nan()}
+func (s *Server) handshake(raw net.Conn) {
+	conn := NewConn(WrapFault(raw, s.cfg.Fault), nil)
+	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	hello, err := conn.Recv()
+	if err != nil || hello.Type != MsgHello {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
 
-	// 1. Broadcast the model + previous global delta.
-	for _, c := range s.clients {
-		err := c.conn.Send(&Envelope{Type: MsgModel, Round: round, Params: global, GlobalDelta: globalDelta})
-		if err != nil {
-			return rec, err
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		conn.Send(&Envelope{Type: MsgShutdown, Info: "session over"})
+		conn.Close()
+		return
+	}
+	_, live := s.roster[hello.ClientID]
+	_, queued := s.pending[hello.ClientID]
+	if live || queued {
+		s.cfg.Logf("server: rejecting duplicate client id %d", hello.ClientID)
+		conn.Send(&Envelope{Type: MsgShutdown, Info: fmt.Sprintf("duplicate client id %d", hello.ClientID)})
+		conn.Close()
+		return
+	}
+	s.pending[hello.ClientID] = &clientConn{id: hello.ClientID, conn: conn, samples: hello.NumSamples}
+	s.cfg.Logf("server: client %d registered (%d samples)", hello.ClientID, hello.NumSamples)
+	s.cond.Broadcast()
+}
+
+func (s *Server) waitForQuorum() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.roster)+len(s.pending) < s.cfg.NumClients && s.acceptErr == nil {
+		s.cond.Wait()
+	}
+	return s.acceptErr
+}
+
+// admitPending moves registered clients into the live roster at a round
+// boundary, the only point where the lockstep protocol can take them.
+func (s *Server) admitPending(round int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, c := range s.pending {
+		delete(s.pending, id)
+		s.roster[id] = c
+		if round > 0 {
+			s.cfg.Logf("server: client %d joins at round %d", id, round+1)
 		}
 	}
-	// 2. Collect utility scores.
-	scores := make(map[int]float64, len(s.clients))
-	for _, c := range s.clients {
-		e, err := c.conn.Recv()
-		if err != nil || e.Type != MsgScore {
-			return rec, fmt.Errorf("rpc: expected score from %d: %v", c.id, err)
-		}
-		scores[e.ClientID] = e.Score
+}
+
+func (s *Server) liveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.roster)
+}
+
+// snapshotRoster returns the live clients sorted by id for deterministic
+// iteration.
+func (s *Server) snapshotRoster() []*clientConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*clientConn, 0, len(s.roster))
+	for _, c := range s.roster {
+		out = append(out, c)
 	}
-	// 3. Select and notify.
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// evict removes a client whose link failed or who missed a phase
+// deadline. Its uplink bytes are folded into the session accounting and
+// its connection closed; a later re-Hello may bring it back.
+func (s *Server) evict(c *clientConn, round int, err error) {
+	s.mu.Lock()
+	if _, ok := s.roster[c.id]; ok {
+		delete(s.roster, c.id)
+		s.evictedBytes += c.conn.BytesReceived()
+	}
+	s.mu.Unlock()
+	c.conn.Close()
+	s.cfg.Logf("server: round %d: evicting client %d: %v", round+1, c.id, err)
+}
+
+func (s *Server) totalBytesReceived() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.evictedBytes
+	for _, c := range s.roster {
+		total += c.conn.BytesReceived()
+	}
+	return total
+}
+
+func (s *Server) sendTimed(c *clientConn, e *Envelope) error {
+	c.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	return c.conn.Send(e)
+}
+
+func (s *Server) recvTimed(c *clientConn) (*Envelope, error) {
+	c.conn.SetReadDeadline(time.Now().Add(s.cfg.StragglerTimeout))
+	return c.conn.Recv()
+}
+
+// runRound executes one federated round against the current roster. It
+// never fails the session: clients that error or dawdle are evicted and
+// the round aggregates whatever arrived in time (Received may be smaller
+// than Selected).
+func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
+	global, globalDelta []float64) RoundRecord {
+	rec := RoundRecord{Round: round, TestAcc: nan()}
+	roster := s.snapshotRoster()
+	rec.Clients = len(roster)
+	totalSamples := 0
+	for _, c := range roster {
+		totalSamples += c.samples
+	}
+
+	// Phase 1+2: concurrent broadcast + score collection, one goroutine
+	// per connection. Every goroutine reports exactly once, and the phase
+	// deadline guarantees it returns.
+	type scoreRes struct {
+		c     *clientConn
+		score float64
+		err   error
+	}
+	scoreCh := make(chan scoreRes, len(roster))
+	for _, c := range roster {
+		c := c
+		go func() {
+			if err := s.sendTimed(c, &Envelope{Type: MsgModel, Round: round, Params: global, GlobalDelta: globalDelta}); err != nil {
+				scoreCh <- scoreRes{c: c, err: err}
+				return
+			}
+			e, err := s.recvTimed(c)
+			if err != nil {
+				scoreCh <- scoreRes{c: c, err: err}
+				return
+			}
+			if e.Type != MsgScore {
+				scoreCh <- scoreRes{c: c, err: fmt.Errorf("expected score, got %v", e.Type)}
+				return
+			}
+			scoreCh <- scoreRes{c: c, score: e.Score}
+		}()
+	}
+	scores := make(map[int]float64, len(roster))
+	alive := make([]*clientConn, 0, len(roster))
+	for range roster {
+		r := <-scoreCh
+		if r.err != nil {
+			s.evict(r.c, round, r.err)
+			rec.Evicted++
+			continue
+		}
+		scores[r.c.id] = r.score
+		alive = append(alive, r.c)
+	}
+
+	// Phase 3+4: selection, then concurrent notify + update collection.
 	plan := sel.plan(round, scores)
 	rec.Selected = len(plan)
-	for id, c := range s.clients {
-		ratio, ok := plan[id]
-		if !ok {
-			ratio = 0
-		}
-		if err := c.conn.Send(&Envelope{Type: MsgSelect, Round: round, Ratio: ratio}); err != nil {
-			return rec, err
-		}
+	type updRes struct {
+		c   *clientConn
+		upd *compress.Sparse
+		err error
 	}
-	// 4. Collect updates from selected clients and aggregate (FedAvg).
+	updCh := make(chan updRes, len(alive))
+	for _, c := range alive {
+		c := c
+		ratio := plan[c.id] // 0 when not selected this round
+		go func() {
+			if err := s.sendTimed(c, &Envelope{Type: MsgSelect, Round: round, Ratio: ratio}); err != nil {
+				updCh <- updRes{c: c, err: err}
+				return
+			}
+			if ratio <= 0 {
+				updCh <- updRes{c: c}
+				return
+			}
+			e, err := s.recvTimed(c)
+			if err != nil {
+				updCh <- updRes{c: c, err: err}
+				return
+			}
+			if e.Type != MsgUpdate || e.Update == nil {
+				updCh <- updRes{c: c, err: fmt.Errorf("expected update, got %v", e.Type)}
+				return
+			}
+			updCh <- updRes{c: c, upd: e.Update}
+		}()
+	}
+	// Aggregate the partial set (FedAvg weighted by sample counts of the
+	// round's roster; the 1/weightSum renormalisation keeps the average
+	// well-formed when some selected updates never arrive).
 	agg := make([]float64, len(global))
 	weightSum := 0.0
-	for id := range plan {
-		c := s.clients[id]
-		e, err := c.conn.Recv()
-		if err != nil || e.Type != MsgUpdate || e.Update == nil {
-			return rec, fmt.Errorf("rpc: expected update from %d: %v", id, err)
+	for range alive {
+		r := <-updCh
+		if r.err != nil {
+			s.evict(r.c, round, r.err)
+			rec.Evicted++
+			continue
 		}
-		w := float64(c.samples) / float64(totalSamples)
-		e.Update.AddTo(agg, w)
-		weightSum += w
-		rec.Received++
+		if r.upd != nil {
+			w := float64(r.c.samples) / float64(totalSamples)
+			r.upd.AddTo(agg, w)
+			weightSum += w
+			rec.Received++
+		}
 	}
 	before := tensor.CopyVec(global)
 	if weightSum > 0 {
@@ -193,46 +427,59 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 	}
 	tensor.SubVec(globalDelta, global, before)
 
-	// 5. Evaluate.
+	// Phase 5: evaluate.
 	if s.cfg.Test != nil && (round+1)%s.cfg.EvalEvery == 0 {
 		model.SetParamVector(global)
 		acc, _ := model.EvaluateBatched(s.cfg.Test.X, s.cfg.Test.Labels, 64)
 		rec.TestAcc = acc
-		s.cfg.Logf("server: round %d acc=%.3f selected=%d", round+1, acc, rec.Selected)
+		s.cfg.Logf("server: round %d acc=%.3f selected=%d received=%d clients=%d",
+			round+1, acc, rec.Selected, rec.Received, rec.Clients)
 	}
-	var bytes int64
-	for _, c := range s.clients {
-		bytes += c.conn.BytesReceived()
-	}
-	rec.Bytes = bytes
-	return rec, nil
+	total := s.totalBytesReceived()
+	rec.Bytes = total - s.prevBytes
+	s.prevBytes = total
+	return rec
 }
 
 func (s *Server) shutdown(info string) {
-	for _, c := range s.clients {
+	s.mu.Lock()
+	s.closing = true
+	conns := make([]*clientConn, 0, len(s.roster)+len(s.pending))
+	for _, c := range s.roster {
+		conns = append(conns, c)
+	}
+	for _, c := range s.pending {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.listener.Close()
+	for _, c := range conns {
 		c.conn.Send(&Envelope{Type: MsgShutdown, Info: info})
 		c.conn.Close()
 	}
 }
 
 // serverSelector applies Algorithm 1 + the fairness reservation over
-// scores reported by remote clients.
+// scores reported by remote clients. Client IDs are treated as an opaque
+// sparse set — after evictions and re-joins they are not dense 0..n-1.
 type serverSelector struct {
 	cfg     core.Config
-	lastSel []int
+	lastSel map[int]int // client id -> last round it was selected
 }
 
-func newServerSelector(cfg core.Config, n int) *serverSelector {
-	last := make([]int, n)
-	for i := range last {
-		last[i] = -1
+func newServerSelector(cfg core.Config) *serverSelector {
+	return &serverSelector{cfg: cfg, lastSel: map[int]int{}}
+}
+
+func (s *serverSelector) last(id int) int {
+	if r, ok := s.lastSel[id]; ok {
+		return r
 	}
-	return &serverSelector{cfg: cfg, lastSel: last}
+	return -1
 }
 
 // plan maps selected client id → compression ratio.
 func (s *serverSelector) plan(round int, scores map[int]float64) map[int]float64 {
-	n := len(scores)
 	out := map[int]float64{}
 	if s.cfg.Compression.InWarmup(round) {
 		for id := range scores {
@@ -241,9 +488,15 @@ func (s *serverSelector) plan(round int, scores map[int]float64) map[int]float64
 		}
 		return out
 	}
-	vec := make([]float64, n)
-	for id, sc := range scores {
-		vec[id] = sc
+	// Dense projection of the sparse id set, sorted for determinism.
+	ids := make([]int, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	vec := make([]float64, len(ids))
+	for i, id := range ids {
+		vec[i] = scores[id]
 	}
 	reserve := int(0.5 + s.cfg.ExploreFrac*float64(s.cfg.K))
 	if reserve > s.cfg.K {
@@ -253,17 +506,19 @@ func (s *serverSelector) plan(round int, scores map[int]float64) map[int]float64
 	if kTop := s.cfg.K - reserve; kTop >= 1 {
 		selected = core.SelectClients(vec, kTop, s.cfg.Tau)
 	}
-	chosen := map[int]bool{}
+	chosen := map[int]bool{} // dense index into ids
 	for _, sc := range selected {
 		chosen[sc.Client] = true
 	}
-	for slot := 0; slot < reserve; slot++ {
+	// Fairness reservation: fill the remaining slots with the clients
+	// selected least recently.
+	for slot := 0; slot < reserve && len(selected) < len(ids); slot++ {
 		best := -1
-		for i := 0; i < n; i++ {
+		for i := range ids {
 			if chosen[i] {
 				continue
 			}
-			if best == -1 || s.lastSel[i] < s.lastSel[best] {
+			if best == -1 || s.last(ids[i]) < s.last(ids[best]) {
 				best = i
 			}
 		}
@@ -274,8 +529,9 @@ func (s *serverSelector) plan(round int, scores map[int]float64) map[int]float64
 		selected = append(selected, core.ScoredClient{Client: best, Score: vec[best]})
 	}
 	for rank, sc := range selected {
-		out[sc.Client] = s.cfg.Compression.RatioForRank(rank, len(selected), round)
-		s.lastSel[sc.Client] = round
+		id := ids[sc.Client]
+		out[id] = s.cfg.Compression.RatioForRank(rank, len(selected), round)
+		s.lastSel[id] = round
 	}
 	return out
 }

@@ -1,0 +1,117 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// virtualize replaces the bucket's sleep with a virtual clock that
+// accumulates the requested sleep and refills tokens accordingly, making
+// throughput measurements deterministic. It returns a pointer to the
+// virtual elapsed time.
+func virtualize(tb *TokenBucket) *time.Duration {
+	var slept time.Duration
+	tb.sleep = func(d time.Duration) {
+		slept += d
+		tb.mu.Lock()
+		tb.tokens += d.Seconds() * tb.rate
+		tb.mu.Unlock()
+	}
+	return &slept
+}
+
+func TestTokenBucketBurstPassesWithoutSleep(t *testing.T) {
+	tb := NewTokenBucket(1000) // capacity = 1s of tokens = 1000 B
+	slept := virtualize(tb)
+	tb.Take(500)
+	tb.Take(500)
+	if *slept != 0 {
+		t.Fatalf("burst within capacity slept %v", *slept)
+	}
+	tb.Take(1) // bucket drained: must wait
+	if *slept == 0 {
+		t.Fatal("post-burst take did not sleep")
+	}
+}
+
+func TestTokenBucketSleepRefill(t *testing.T) {
+	tb := NewTokenBucket(1000)
+	slept := virtualize(tb)
+	tb.Take(500) // within initial burst
+	if *slept != 0 {
+		t.Fatalf("burst should not sleep, slept %v", *slept)
+	}
+	tb.Take(2000) // needs ~1.5s of tokens beyond the remaining 500
+	if *slept < time.Second || *slept > 3*time.Second {
+		t.Fatalf("unexpected total sleep %v", *slept)
+	}
+}
+
+// TestTokenBucketThroughputWithin20Pct pushes many seconds worth of bytes
+// through the bucket on the virtual clock and checks sustained throughput
+// converges to the configured rate within ±20%.
+func TestTokenBucketThroughputWithin20Pct(t *testing.T) {
+	const rate = 1e6 // 1 MB/s
+	tb := NewTokenBucket(rate)
+	slept := virtualize(tb)
+	total := 0
+	for total < 20e6 { // 20 seconds of traffic in 64 KB writes
+		tb.Take(64 << 10)
+		total += 64 << 10
+	}
+	elapsed := slept.Seconds()
+	if elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	measured := float64(total) / elapsed
+	if measured < 0.8*rate || measured > 1.2*rate {
+		t.Fatalf("throughput %.0f B/s outside ±20%% of %.0f B/s", measured, float64(rate))
+	}
+}
+
+func TestTokenBucketGuards(t *testing.T) {
+	for _, rate := range []float64{0, -5} {
+		rate := rate
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v accepted", rate)
+				}
+			}()
+			NewTokenBucket(rate)
+		}()
+	}
+}
+
+// TestTokenBucketRealTimeSmoke checks wall-clock shaping on a real sleep:
+// taking one second's worth of bytes beyond the burst must block for
+// roughly that long. Bounds are loose to tolerate slow CI machines.
+func TestTokenBucketRealTimeSmoke(t *testing.T) {
+	const rate = 4e6
+	tb := NewTokenBucket(rate)
+	start := time.Now()
+	tb.Take(int(rate))     // burst: free
+	tb.Take(int(rate / 2)) // must wait ~0.5s
+	elapsed := time.Since(start)
+	if elapsed < 350*time.Millisecond {
+		t.Fatalf("throttle too fast: %v for 0.5s of tokens", elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("throttle too slow: %v for 0.5s of tokens", elapsed)
+	}
+}
+
+func TestThrottledWriterDelegates(t *testing.T) {
+	var buf bytes.Buffer
+	tb := NewTokenBucket(1e9) // effectively unlimited
+	w := &throttledWriter{w: &buf, tb: tb}
+	p := []byte("hello straggler")
+	n, err := w.Write(p)
+	if err != nil || n != len(p) {
+		t.Fatalf("write = (%d, %v)", n, err)
+	}
+	if buf.String() != string(p) {
+		t.Fatalf("payload corrupted: %q", buf.String())
+	}
+}

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench bench-gemm bench-train
+.PHONY: check vet build test race chaos fuzz bench bench-gemm bench-train
 
 check: vet build test race
 
@@ -19,15 +19,21 @@ test:
 
 # The packages that spawn goroutines (parallel GEMM, parallel evaluation,
 # parallel client rounds, the concurrent RPC round engine and its chaos
-# suite) under the race detector.
+# suite) plus the crash-safety layer under the race detector.
 race:
-	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/...
+	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/...
 
-# Short fuzzing smoke over the wire decoder: corrupted/truncated gob
-# streams must error, never panic. CI-friendly 10s budget; raise
-# -fuzztime locally for a deeper run.
+# The full-session fault-injection suite (stragglers, partitions, drops,
+# kill-and-restart resume) under the race detector.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/rpc/
+
+# Short fuzzing smoke over the attack surfaces: corrupted/truncated gob
+# streams and checkpoint snapshots must error, never panic. CI-friendly
+# 10s budgets; raise -fuzztime locally for a deeper run.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/rpc/
+	$(GO) test -run xxx -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/checkpoint/
 
 # Hot-path microbenchmarks with allocation stats; see DESIGN.md §GEMM for
 # how these map onto BENCH_1.json.

@@ -35,7 +35,7 @@ func main() {
 	batch := flag.Int("batch", 16, "batch size")
 	lr := flag.Float64("lr", 0.1, "learning rate")
 	retries := flag.Int("retries", 3, "consecutive failed redial attempts tolerated (budget resets once a connection makes progress)")
-	backoff := flag.Duration("retry-backoff", 200*time.Millisecond, "initial redial backoff (doubles per attempt)")
+	backoff := flag.Duration("retry-backoff", 200*time.Millisecond, "initial redial backoff window; doubles per attempt, each wait drawn uniformly from it (full jitter)")
 	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 

@@ -39,6 +39,9 @@ func main() {
 	samples := flag.Int("samples", 2000, "total synthetic samples")
 	straggler := flag.Duration("straggler-timeout", 30*time.Second, "per-phase deadline before a laggard is evicted")
 	minClients := flag.Int("min-clients", 1, "roster floor: end the session cleanly below this many live clients")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for the atomic per-round session snapshot (empty disables checkpointing)")
+	resume := flag.Bool("resume", false, "restore the snapshot in -checkpoint-dir and continue from the round after the crash (fresh start if none exists)")
+	maxNorm := flag.Float64("max-update-norm", 10, "quarantine updates whose L2 norm exceeds this multiple of the round median (0 disables the gate)")
 	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -67,6 +70,7 @@ func main() {
 		Addr: *addr, NumClients: *clients, Rounds: *rounds,
 		Cfg: cfg, NewModel: newModel, Test: test, EvalEvery: 1,
 		StragglerTimeout: *straggler, MinClients: *minClients,
+		CheckpointDir: *ckptDir, Resume: *resume, MaxUpdateNorm: *maxNorm,
 		Fault: faults.Config(),
 	})
 	if err != nil {
@@ -77,8 +81,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("final accuracy: %.3f  uplink: %.1f KB  rounds: %d  evictions: %d%s\n",
-		res.FinalAcc, float64(res.BytesReceived)/1e3, len(res.Rounds), res.Evictions,
-		map[bool]string{true: "  (ended early: roster below min-clients)"}[res.EndedEarly])
+	resumed := ""
+	if res.ResumedFrom >= 0 {
+		resumed = fmt.Sprintf("  (resumed at round %d)", res.ResumedFrom+1)
+	}
+	fmt.Printf("final accuracy: %.3f  uplink: %.1f KB  rounds: %d  evictions: %d  quarantined: %d%s%s\n",
+		res.FinalAcc, float64(res.BytesReceived)/1e3, len(res.Rounds), res.Evictions, len(res.Quarantines),
+		map[bool]string{true: "  (ended early: roster below min-clients)"}[res.EndedEarly], resumed)
 	os.Exit(0)
 }

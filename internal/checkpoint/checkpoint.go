@@ -1,0 +1,195 @@
+// Package checkpoint provides crash-safe, integrity-checked snapshot
+// files for long-lived training sessions. A snapshot is a gob payload
+// wrapped in a fixed header (magic, format version, payload length,
+// CRC-32C of the payload) so that a reader can reject truncated,
+// bit-flipped or foreign files before handing bytes to the decoder, and
+// a length cap keeps a corrupt length prefix from forcing a huge
+// allocation.
+//
+// Save is atomic with respect to crashes: the snapshot is written to a
+// temp file in the destination directory, fsynced, then renamed over the
+// destination, and the directory itself is fsynced. A process killed at
+// any point leaves either the previous complete snapshot or the new
+// complete snapshot — never a half-written one (a stale temp file at
+// worst, which Save ignores and Load never reads).
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// magic identifies a checkpoint file. Changing the on-disk layout bumps
+// Version, not the magic.
+var magic = [8]byte{'A', 'D', 'F', 'L', 'C', 'K', 'P', 'T'}
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// headerLen is magic(8) + version(4) + payload length(8) + crc(4).
+const headerLen = 24
+
+// DefaultMaxPayload bounds the payload length a reader will believe.
+// Snapshots here are model vectors plus bookkeeping — far below 1 GiB —
+// so anything larger is treated as corruption, not data.
+const DefaultMaxPayload = 1 << 30
+
+// ErrCorrupt marks a snapshot that failed structural verification:
+// wrong magic, impossible length, truncated payload or CRC mismatch.
+// Callers distinguish it from I/O errors to decide between "refuse to
+// resume" and "retry the read".
+var ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+
+// castagnoli is the CRC-32C table (iSCSI polynomial), hardware
+// accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode writes one framed snapshot of v to w.
+func Encode(w io.Writer, v interface{}) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], Version)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(payload.Bytes(), castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("checkpoint: write header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("checkpoint: write payload: %w", err)
+	}
+	return nil
+}
+
+// Decode reads one framed snapshot from r into v, verifying magic,
+// version, length and CRC before gob sees a single payload byte. It
+// uses DefaultMaxPayload as the length cap.
+func Decode(r io.Reader, v interface{}) error {
+	return DecodeLimited(r, v, DefaultMaxPayload)
+}
+
+// DecodeLimited is Decode with an explicit payload length cap. Corrupt
+// or truncated input yields an error wrapping ErrCorrupt — never a
+// panic and never an allocation driven by an unverified length prefix
+// beyond maxPayload.
+func DecodeLimited(r io.Reader, v interface{}, maxPayload int64) error {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if ver := binary.LittleEndian.Uint32(hdr[8:12]); ver != Version {
+		return fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, ver)
+	}
+	n := binary.LittleEndian.Uint64(hdr[12:20])
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	if n > uint64(maxPayload) {
+		return fmt.Errorf("%w: declared payload %d exceeds cap %d", ErrCorrupt, n, maxPayload)
+	}
+	// Read through a LimitReader in moderate chunks so a declared length
+	// larger than the actual data fails with a short read, not a single
+	// n-sized up-front allocation.
+	payload := make([]byte, 0, min64(int64(n), 1<<20))
+	lr := io.LimitReader(r, int64(n))
+	buf := make([]byte, 64<<10)
+	for {
+		k, err := lr.Read(buf)
+		payload = append(payload, buf[:k]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%w: read payload: %v", ErrCorrupt, err)
+		}
+	}
+	if uint64(len(payload)) != n {
+		return fmt.Errorf("%w: truncated payload: %d of %d bytes", ErrCorrupt, len(payload), n)
+	}
+	want := binary.LittleEndian.Uint32(hdr[20:24])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		// The CRC passed, so the bytes are what the writer produced; a gob
+		// failure here means a writer/reader type mismatch, still corrupt
+		// from the caller's point of view.
+		return fmt.Errorf("%w: decode: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// Save atomically writes a snapshot of v to path: temp file in the same
+// directory, fsync, rename, directory fsync. An existing snapshot at
+// path is replaced only once the new one is fully durable.
+func Save(path string, v interface{}) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := Encode(f, v); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("checkpoint: fsync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("checkpoint: close: %w", err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	// Make the rename itself durable. Some filesystems reject Sync on a
+	// directory handle; a crash then risks losing only the rename, never
+	// producing a torn file, so that error is not fatal.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads the snapshot at path into v.
+func Load(path string, v interface{}) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Decode(f, v)
+}
+
+// Exists reports whether a snapshot file is present at path (it does not
+// verify its integrity; Load does).
+func Exists(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.Mode().IsRegular()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

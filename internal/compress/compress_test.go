@@ -1,6 +1,7 @@
 package compress
 
 import (
+	"errors"
 	"math"
 	"sort"
 	"testing"
@@ -424,5 +425,66 @@ func TestDGCResidualDecayShrinksAccumulator(t *testing.T) {
 	if fade.AccumulatedNorm() >= keep.AccumulatedNorm() {
 		t.Fatalf("decay did not shrink residual: %v vs %v",
 			fade.AccumulatedNorm(), keep.AccumulatedNorm())
+	}
+}
+
+func TestSparseValidate(t *testing.T) {
+	const dim = 8
+	good := &Sparse{Dim: dim, Indices: []int32{0, 3, 7}, Values: []float64{1, -2, 0.5}}
+	if err := good.Validate(dim); err != nil {
+		t.Fatalf("valid message rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		msg  *Sparse
+	}{
+		{"nil", nil},
+		{"dim mismatch", &Sparse{Dim: dim + 1, Indices: []int32{0}, Values: []float64{1}}},
+		{"length mismatch", &Sparse{Dim: dim, Indices: []int32{0, 1}, Values: []float64{1}}},
+		{"too many coords", &Sparse{Dim: 2, Indices: []int32{0, 1, 1}, Values: []float64{1, 2, 3}}},
+		{"index too large", &Sparse{Dim: dim, Indices: []int32{0, int32(dim)}, Values: []float64{1, 2}}},
+		{"negative index", &Sparse{Dim: dim, Indices: []int32{-1}, Values: []float64{1}}},
+	}
+	for _, c := range cases {
+		err := c.msg.Validate(dim)
+		if err == nil {
+			t.Errorf("%s: malformed message accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: error %v does not wrap ErrMalformed", c.name, err)
+		}
+	}
+	// A malformed "too many coords" case must be caught for the dense dim
+	// too: Validate is what stands between the wire and AddTo's panic.
+	if err := cases[4].msg.Validate(dim); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestSparseScrub(t *testing.T) {
+	s := &Sparse{
+		Dim:     6,
+		Indices: []int32{0, 1, 2, 3, 4},
+		Values:  []float64{1, math.NaN(), math.Inf(1), math.Inf(-1), -2},
+	}
+	if n := s.Scrub(); n != 3 {
+		t.Fatalf("scrubbed %d values, want 3", n)
+	}
+	want := []float64{1, 0, 0, 0, -2}
+	for i, v := range s.Values {
+		if v != want[i] {
+			t.Fatalf("value %d = %v after scrub, want %v", i, v, want[i])
+		}
+	}
+	if n := s.Scrub(); n != 0 {
+		t.Fatalf("second scrub found %d values, want 0", n)
+	}
+}
+
+func TestSparseNorm2(t *testing.T) {
+	s := &Sparse{Dim: 4, Indices: []int32{0, 2}, Values: []float64{3, 4}}
+	if got := s.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2 = %v, want 5", got)
 	}
 }

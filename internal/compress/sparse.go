@@ -10,7 +10,11 @@
 // the wire, matching the paper's 4-byte parameters (431k params = 1.64 MB).
 package compress
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"math"
+)
 
 // BytesPerValue is the wire size of one gradient value (float32).
 const BytesPerValue = 4
@@ -69,6 +73,61 @@ func (s *Sparse) Dense() []float64 {
 		out[idx] = s.Values[i]
 	}
 	return out
+}
+
+// ErrMalformed marks a structurally invalid sparse message: a receiver
+// must never feed one to AddTo/Dense, where out-of-range indices panic
+// and mismatched arrays silently corrupt the accumulator.
+var ErrMalformed = errors.New("compress: malformed sparse message")
+
+// Validate checks s against the receiver's model dimension: the declared
+// Dim must match, Indices and Values must pair up, the coordinate count
+// cannot exceed the dimension, and every index must lie in [0, dim). A
+// nil or failing message must be rejected (quarantined) before
+// aggregation; Validate never mutates s.
+func (s *Sparse) Validate(dim int) error {
+	if s == nil {
+		return fmt.Errorf("%w: nil message", ErrMalformed)
+	}
+	if s.Dim != dim {
+		return fmt.Errorf("%w: dim %d, expected %d", ErrMalformed, s.Dim, dim)
+	}
+	if len(s.Indices) != len(s.Values) {
+		return fmt.Errorf("%w: %d indices vs %d values", ErrMalformed, len(s.Indices), len(s.Values))
+	}
+	if len(s.Indices) > dim {
+		return fmt.Errorf("%w: %d coordinates exceed dim %d", ErrMalformed, len(s.Indices), dim)
+	}
+	for i, idx := range s.Indices {
+		if idx < 0 || int(idx) >= dim {
+			return fmt.Errorf("%w: index %d at position %d out of range [0, %d)", ErrMalformed, idx, i, dim)
+		}
+	}
+	return nil
+}
+
+// Scrub zeroes non-finite (NaN/±Inf) values in place and returns how
+// many it replaced. A single poisoned coordinate would otherwise spread
+// through the aggregated global model and every subsequent round.
+func (s *Sparse) Scrub() int {
+	n := 0
+	for i, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			s.Values[i] = 0
+			n++
+		}
+	}
+	return n
+}
+
+// Norm2 returns the L2 norm of the message's values (the norm of the
+// dense vector it represents, assuming indices are distinct).
+func (s *Sparse) Norm2() float64 {
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
 }
 
 // AddTo accumulates scale * message into dst, which must have length Dim.

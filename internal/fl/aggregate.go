@@ -14,6 +14,32 @@ type Aggregator interface {
 	Apply(global []float64, updates []Update)
 }
 
+// validUpdates filters out structurally malformed deltas (nil message,
+// wrong dimension, index/value length mismatch, out-of-range indices)
+// before any aggregator touches them: a single bad update from one
+// client must not panic the server or silently corrupt the global
+// model. Dropped updates also leave the weight normalisation, exactly
+// like an evicted straggler's would.
+func validUpdates(dim int, updates []Update) []Update {
+	ok := true
+	for _, u := range updates {
+		if u.Delta.Validate(dim) != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return updates
+	}
+	kept := make([]Update, 0, len(updates))
+	for _, u := range updates {
+		if u.Delta.Validate(dim) == nil {
+			kept = append(kept, u)
+		}
+	}
+	return kept
+}
+
 // FedAvg is weighted model averaging (McMahan et al.): the global model
 // moves to the data-weighted mean of the participants' local models.
 type FedAvg struct{}
@@ -23,6 +49,7 @@ func (FedAvg) Name() string { return "fedavg" }
 
 // Apply implements Aggregator.
 func (FedAvg) Apply(global []float64, updates []Update) {
+	updates = validUpdates(len(global), updates)
 	if len(updates) == 0 {
 		return
 	}
@@ -54,6 +81,7 @@ func (*FedAdam) Name() string { return "fedadam" }
 
 // Apply implements Aggregator.
 func (f *FedAdam) Apply(global []float64, updates []Update) {
+	updates = validUpdates(len(global), updates)
 	if len(updates) == 0 {
 		return
 	}
@@ -110,6 +138,7 @@ func (s *Scaffold) C(dim int) []float64 {
 
 // Apply implements Aggregator.
 func (s *Scaffold) Apply(global []float64, updates []Update) {
+	updates = validUpdates(len(global), updates)
 	if len(updates) == 0 {
 		return
 	}

@@ -1,0 +1,84 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"adafl/internal/compress"
+)
+
+// malformedUpdates builds the attack shapes a compromised or buggy
+// client could ship: out-of-range indices, mismatched arrays, and a
+// wrong declared dimension. Before validation was added, the first
+// panicked inside Sparse.AddTo and the others silently corrupted or
+// crashed the aggregation.
+func malformedUpdates(dim int) []Update {
+	return []Update{
+		{Client: 7, Weight: 1, Delta: &compress.Sparse{
+			Dim: dim, Indices: []int32{0, int32(dim + 3)}, Values: []float64{1, 99}}},
+		{Client: 8, Weight: 1, Delta: &compress.Sparse{
+			Dim: dim, Indices: []int32{0, 1, 2}, Values: []float64{1}}},
+		{Client: 9, Weight: 1, Delta: &compress.Sparse{
+			Dim: dim + 5, Indices: []int32{0}, Values: []float64{4}}},
+		{Client: 10, Weight: 1, Delta: nil},
+	}
+}
+
+func honestUpdate(dim int) Update {
+	return Update{Client: 0, Weight: 3, Delta: &compress.Sparse{
+		Dim: dim, Indices: []int32{1, 4}, Values: []float64{0.5, -0.25}}}
+}
+
+// TestAggregatorsRejectMalformedUpdates is the regression test for the
+// blind-trust bug: each aggregator fed a mix of one honest and several
+// malformed updates must neither panic nor let the malformed ones move
+// the model — the result must be bitwise identical to aggregating the
+// honest update alone.
+func TestAggregatorsRejectMalformedUpdates(t *testing.T) {
+	const dim = 8
+	aggs := []func() Aggregator{
+		func() Aggregator { return FedAvg{} },
+		func() Aggregator { return NewFedAdam(0.1) },
+		func() Aggregator { return NewScaffold(1, 4) },
+	}
+	for _, mk := range aggs {
+		// Reference: honest update only, fresh aggregator state.
+		ref := mk()
+		wantGlobal := make([]float64, dim)
+		for i := range wantGlobal {
+			wantGlobal[i] = float64(i) * 0.1
+		}
+		ref.Apply(wantGlobal, []Update{honestUpdate(dim)})
+
+		got := mk()
+		gotGlobal := make([]float64, dim)
+		for i := range gotGlobal {
+			gotGlobal[i] = float64(i) * 0.1
+		}
+		mixed := append([]Update{honestUpdate(dim)}, malformedUpdates(dim)...)
+		got.Apply(gotGlobal, mixed) // must not panic
+		for i := range wantGlobal {
+			if gotGlobal[i] != wantGlobal[i] {
+				t.Fatalf("%s: malformed updates perturbed the model at %d: %v vs %v",
+					got.Name(), i, gotGlobal[i], wantGlobal[i])
+			}
+		}
+	}
+}
+
+// TestAggregatorsAllMalformedIsNoOp: a round where every received
+// update is malformed must leave the global model untouched.
+func TestAggregatorsAllMalformedIsNoOp(t *testing.T) {
+	const dim = 6
+	global := make([]float64, dim)
+	for i := range global {
+		global[i] = math.Sqrt(float64(i + 1))
+	}
+	before := append([]float64(nil), global...)
+	FedAvg{}.Apply(global, malformedUpdates(dim))
+	for i := range global {
+		if global[i] != before[i] {
+			t.Fatalf("all-malformed round moved the model at %d", i)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+
+	"adafl/internal/stats"
+)
+
+// TestBackoffFullJitterSpread: waits drawn from one window must cover
+// the window rather than cluster — the property that de-synchronises a
+// client fleet redialling a restarted server.
+func TestBackoffFullJitterSpread(t *testing.T) {
+	const window = 100 * time.Millisecond
+	b := newRetryBackoff(window, window, stats.NewRNG(7))
+	const n = 400
+	var sum time.Duration
+	distinct := map[time.Duration]bool{}
+	low, high := 0, 0
+	for i := 0; i < n; i++ {
+		b.reset() // hold the window fixed; sample only the jitter
+		w := b.next()
+		if w < 0 || w >= window {
+			t.Fatalf("wait %v outside [0, %v)", w, window)
+		}
+		sum += w
+		distinct[w] = true
+		if w < window/4 {
+			low++
+		}
+		if w > 3*window/4 {
+			high++
+		}
+	}
+	mean := sum / n
+	if mean < 3*window/10 || mean > 7*window/10 {
+		t.Fatalf("jitter mean %v far from window/2 (%v)", mean, window/2)
+	}
+	if len(distinct) < n/2 {
+		t.Fatalf("only %d distinct waits out of %d: not jittered", len(distinct), n)
+	}
+	// Both tails of the window must actually be used.
+	if low < n/20 || high < n/20 {
+		t.Fatalf("jitter avoids the window tails: %d low, %d high of %d", low, high, n)
+	}
+}
+
+// TestBackoffWindowDoublesAndCaps: without jitter the schedule is the
+// plain exponential sequence, capped, and reset() restarts it.
+func TestBackoffWindowDoublesAndCaps(t *testing.T) {
+	b := newRetryBackoff(100*time.Millisecond, 400*time.Millisecond, nil)
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := b.next(); got != w {
+			t.Fatalf("attempt %d: wait %v, want %v", i, got, w)
+		}
+	}
+	b.reset()
+	if got := b.next(); got != 100*time.Millisecond {
+		t.Fatalf("after reset: wait %v, want 100ms", got)
+	}
+}
+
+// TestBackoffClientsDesynchronised: two clients with different seeds
+// must not share a redial schedule.
+func TestBackoffClientsDesynchronised(t *testing.T) {
+	a := newRetryBackoff(time.Second, time.Second, stats.NewRNG(1).Split())
+	b := newRetryBackoff(time.Second, time.Second, stats.NewRNG(2).Split())
+	same := 0
+	const n = 100
+	for i := 0; i < n; i++ {
+		a.reset()
+		b.reset()
+		if a.next() == b.next() {
+			same++
+		}
+	}
+	if same > n/10 {
+		t.Fatalf("%d of %d redial waits identical across clients", same, n)
+	}
+}

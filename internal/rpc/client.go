@@ -50,8 +50,11 @@ type ClientConfig struct {
 	// across reconnects; the model resyncs from the server's next
 	// broadcast.
 	MaxRetries int
-	// RetryBackoff is the initial wait between redials; it doubles per
-	// attempt, capped at 5s. 0 means 200ms.
+	// RetryBackoff is the initial redial backoff window; the window
+	// doubles per consecutive failure, capped at 5s, and each wait is
+	// drawn uniformly from [0, window) (full jitter, seeded from Seed)
+	// so a fleet redialling a restarted server doesn't reconnect in
+	// lockstep. 0 means 200ms.
 	RetryBackoff time.Duration
 	// DialTimeout bounds each dial attempt. 0 means 10s.
 	DialTimeout time.Duration
@@ -84,12 +87,11 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
 	}
-	initialBackoff := cfg.RetryBackoff
-	if initialBackoff <= 0 {
-		initialBackoff = 200 * time.Millisecond
-	}
 	sess := newClientSession(cfg)
-	backoff := initialBackoff
+	// Jitter from a stream decorrelated from the batch iterator's: both
+	// derive from Seed, but Split mixes the state so the redial schedule
+	// does not echo the batch order.
+	backoff := newRetryBackoff(cfg.RetryBackoff, maxRetryBackoff, stats.NewRNG(cfg.Seed).Split())
 	for retries := 0; ; {
 		done, progressed, err := sess.runOnce()
 		if done {
@@ -99,18 +101,16 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 			// The link worked for a while: this loss is a fresh failure,
 			// not part of a consecutive-failure streak.
 			retries = 0
-			backoff = initialBackoff
+			backoff.reset()
 		}
 		if errors.Is(err, errProtocol) || retries >= cfg.MaxRetries {
 			return sess.res, err
 		}
 		retries++
+		wait := backoff.next()
 		cfg.Logf("client %d: link lost (%v); reconnect %d/%d in %v",
-			cfg.ID, err, retries, cfg.MaxRetries, backoff)
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > maxRetryBackoff {
-			backoff = maxRetryBackoff
-		}
+			cfg.ID, err, retries, cfg.MaxRetries, wait)
+		time.Sleep(wait)
 		sess.res.Reconnects++
 	}
 }
@@ -169,7 +169,22 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 		case MsgShutdown:
 			cfg.Logf("client %d: shutdown (%s)", cfg.ID, e.Info)
 			return true, true, nil
+		case MsgWelcome:
+			if e.Round > 0 {
+				cfg.Logf("client %d: joining in-progress session at round %d", cfg.ID, e.Round+1)
+			}
 		case MsgModel:
+			// Guard the broadcast before trusting it: a corrupt stream
+			// that still decodes must not panic SetParamVector or the
+			// utility score's dot products.
+			if len(e.Params) != s.model.NumParams() {
+				return false, true, fmt.Errorf("rpc: client %d: broadcast has %d params, model has %d: %w",
+					cfg.ID, len(e.Params), s.model.NumParams(), errProtocol)
+			}
+			if len(e.GlobalDelta) != 0 && len(e.GlobalDelta) != len(e.Params) {
+				return false, true, fmt.Errorf("rpc: client %d: global delta length %d vs %d params: %w",
+					cfg.ID, len(e.GlobalDelta), len(e.Params), errProtocol)
+			}
 			// Local training from the received global model.
 			s.model.SetParamVector(e.Params)
 			for step := 0; step < cfg.LocalSteps; step++ {

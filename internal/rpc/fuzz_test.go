@@ -3,6 +3,7 @@ package rpc
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"io"
 	"net"
 	"reflect"
@@ -38,6 +39,7 @@ func fixtureEnvelopes() []*Envelope {
 		{Type: MsgSelect, Round: 7, Ratio: 12.5},
 		{Type: MsgUpdate, ClientID: 1, Round: 7, Update: &compress.Sparse{Dim: 8, Indices: []int32{0, 3, 7}, Values: []float64{1, -2, 0.5}}},
 		{Type: MsgShutdown, Info: "done: 30 rounds"},
+		{Type: MsgWelcome, Round: 4},
 	}
 }
 
@@ -69,6 +71,9 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Add(bytes.Repeat([]byte{0x7f}, 64))
+	// A legitimate envelope big enough to trip the capped decode pass
+	// below, so the size-cap path is part of the fuzzed surface.
+	f.Add(encodeEnvelope(f, &Envelope{Type: MsgModel, Params: make([]float64, 2048)}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<16 {
@@ -79,10 +84,53 @@ func FuzzEnvelopeDecode(f *testing.F) {
 		// of tiny valid messages cannot spin for long.
 		for i := 0; i < 64; i++ {
 			if _, err := c.Recv(); err != nil {
-				return // error, not panic: exactly what we want
+				break // error, not panic: exactly what we want
+			}
+		}
+		// Second pass under a tight receive cap: whatever the bytes
+		// claim about slice lengths, Recv must error out (never panic,
+		// never materialise the allocation) once the cap is hit.
+		capped := NewConn(&byteConn{r: bytes.NewReader(data)}, nil)
+		capped.SetMaxMessage(1 << 12)
+		for i := 0; i < 64; i++ {
+			if _, err := capped.Recv(); err != nil {
+				return
 			}
 		}
 	})
+}
+
+// TestConnRecvSizeCap locks in the OOM guard: a well-formed envelope
+// whose wire size exceeds the cap must fail with ErrMessageTooLarge,
+// while the same bytes decode fine under the default cap.
+func TestConnRecvSizeCap(t *testing.T) {
+	big := &Envelope{Type: MsgModel, Round: 1, Params: make([]float64, 4096)}
+	for i := range big.Params {
+		big.Params[i] = float64(i)
+	}
+	raw := encodeEnvelope(t, big)
+
+	ok := NewConn(&byteConn{r: bytes.NewReader(raw)}, nil)
+	if _, err := ok.Recv(); err != nil {
+		t.Fatalf("default cap rejected a %d-byte model broadcast: %v", len(raw), err)
+	}
+
+	capped := NewConn(&byteConn{r: bytes.NewReader(raw)}, nil)
+	capped.SetMaxMessage(1 << 10)
+	_, err := capped.Recv()
+	if err == nil {
+		t.Fatal("oversized message decoded despite cap")
+	}
+	if !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("cap violation error %v does not wrap ErrMessageTooLarge", err)
+	}
+
+	// Cap disabled: decodes again.
+	uncapped := NewConn(&byteConn{r: bytes.NewReader(raw)}, nil)
+	uncapped.SetMaxMessage(0)
+	if _, err := uncapped.Recv(); err != nil {
+		t.Fatalf("uncapped conn failed: %v", err)
+	}
 }
 
 // TestEnvelopeRoundTripAllTypes is the property test companion to the

@@ -7,6 +7,7 @@ package rpc
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -15,6 +16,17 @@ import (
 
 	"adafl/internal/compress"
 )
+
+// DefaultMaxMessageBytes caps how many wire bytes a single Recv may
+// consume. The largest legitimate message is a dense model broadcast or
+// update (a few MB for the paper's 431k-parameter CNN); the cap exists
+// so a corrupt or malicious gob length prefix cannot make the decoder
+// allocate unbounded memory and OOM the server.
+const DefaultMaxMessageBytes = 64 << 20
+
+// ErrMessageTooLarge is returned by Recv when a single message exceeds
+// the connection's size cap.
+var ErrMessageTooLarge = errors.New("rpc: message exceeds size cap")
 
 // MsgType discriminates protocol messages.
 type MsgType int
@@ -35,6 +47,11 @@ const (
 	MsgUpdate
 	// MsgShutdown ends the session; Info carries a farewell summary.
 	MsgShutdown
+	// MsgWelcome acknowledges a registration: Round is the next round the
+	// client will participate in, so a client redialling into a resumed
+	// or in-progress session learns it is joining at round r+1 rather
+	// than assuming a fresh session at round 0.
+	MsgWelcome
 )
 
 // Envelope is the single wire message type. Only the fields relevant to
@@ -76,10 +93,12 @@ type Conn struct {
 	cr     *countingReader
 }
 
-// NewConn wraps raw. If throttle is non-nil it shapes writes.
+// NewConn wraps raw. If throttle is non-nil it shapes writes. The
+// receive path is capped at DefaultMaxMessageBytes per message; see
+// SetMaxMessage.
 func NewConn(raw net.Conn, throttle *TokenBucket) *Conn {
 	cw := &countingWriter{w: raw}
-	cr := &countingReader{r: raw}
+	cr := &countingReader{r: raw, limit: DefaultMaxMessageBytes}
 	var encTarget = cw
 	c := &Conn{raw: raw, cw: cw, cr: cr}
 	if throttle != nil {
@@ -101,16 +120,26 @@ func (c *Conn) Send(e *Envelope) error {
 	return nil
 }
 
-// Recv reads one envelope.
+// Recv reads one envelope. A message whose wire size exceeds the
+// connection's cap (SetMaxMessage, DefaultMaxMessageBytes by default)
+// fails with ErrMessageTooLarge instead of being materialised.
 func (c *Conn) Recv() (*Envelope, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
+	c.cr.beginMessage()
 	var e Envelope
 	if err := c.dec.Decode(&e); err != nil {
+		if c.cr.capped() {
+			return nil, fmt.Errorf("%w (cap %d bytes): %v", ErrMessageTooLarge, c.cr.limit, err)
+		}
 		return nil, err
 	}
 	return &e, nil
 }
+
+// SetMaxMessage overrides the per-message receive cap (bytes). n <= 0
+// disables the cap entirely.
+func (c *Conn) SetMaxMessage(n int64) { c.cr.limit = n }
 
 // SetReadDeadline bounds the next Recv: a blocked read returns an error
 // once t passes. The zero time clears the deadline.
@@ -141,10 +170,35 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 type countingReader struct {
 	r net.Conn
 	n atomic.Int64
+
+	// Per-message accounting for the receive size cap. Only the Recv
+	// goroutine touches these (serialised by recvMu): msg counts bytes
+	// consumed since beginMessage, hitCap records that the cap tripped.
+	// gob's internal buffering may attribute up to one bufio block of
+	// read-ahead to the previous message; the slack is a few KB against a
+	// cap measured in MB, irrelevant for OOM protection.
+	limit  int64
+	msg    int64
+	hitCap bool
 }
 
+func (c *countingReader) beginMessage() {
+	c.msg = 0
+	c.hitCap = false
+}
+
+func (c *countingReader) capped() bool { return c.hitCap }
+
 func (c *countingReader) Read(p []byte) (int, error) {
+	if c.limit > 0 && c.msg >= c.limit {
+		c.hitCap = true
+		return 0, ErrMessageTooLarge
+	}
+	if c.limit > 0 && int64(len(p)) > c.limit-c.msg {
+		p = p[:c.limit-c.msg]
+	}
 	n, err := c.r.Read(p)
 	c.n.Add(int64(n))
+	c.msg += int64(n)
 	return n, err
 }

@@ -5,14 +5,18 @@ import (
 	"log"
 	"math"
 	"net"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"adafl/internal/checkpoint"
 	"adafl/internal/compress"
 	"adafl/internal/core"
 	"adafl/internal/dataset"
 	"adafl/internal/nn"
+	"adafl/internal/stats"
 	"adafl/internal/tensor"
 )
 
@@ -55,8 +59,37 @@ type ServerConfig struct {
 	// Fault, when non-nil, wraps every accepted connection with injected
 	// link faults (chaos testing and demos).
 	Fault *FaultConfig
-	// OnRound, when non-nil, is invoked synchronously after each round.
+	// OnRound, when non-nil, is invoked synchronously after each round
+	// (after the round's checkpoint, if any, has been written).
 	OnRound func(RoundRecord)
+
+	// CheckpointDir, when non-empty, makes the session crash-safe: after
+	// every completed round an atomic, CRC-verified snapshot of the
+	// session state (global params, previous global delta, selector
+	// state, round history, accounting, RNG) is written to
+	// CheckpointDir/session.ckpt. A failed write is logged and training
+	// continues; the previous snapshot stays intact.
+	CheckpointDir string
+	// Resume restores the snapshot in CheckpointDir on startup and
+	// continues from the round after the last completed one. With no
+	// snapshot present the session starts fresh (so a supervisor can
+	// always pass Resume); a corrupt snapshot is a hard error — training
+	// silently from scratch would masquerade as a resumed session.
+	Resume bool
+	// MaxUpdateNorm is the update-integrity outlier gate: a received
+	// update whose L2 norm exceeds MaxUpdateNorm times the round's
+	// median update norm is quarantined (rejected, logged, client
+	// evicted) instead of aggregated. 0 disables the gate. Structural
+	// validation (index bounds, length pairing) and NaN/Inf scrubbing
+	// are always on.
+	MaxUpdateNorm float64
+	// RNG, when non-nil, is the session RNG: server-side stochastic
+	// decisions must draw from it so that its position can be captured
+	// in checkpoints and resumed sessions replay identically. The
+	// current synchronous round engine is deterministic given the roster
+	// and scores, so the field exists for engines layered on top; it is
+	// saved and restored with the snapshot.
+	RNG *stats.RNG
 }
 
 // RoundRecord is the server's per-round log entry.
@@ -64,10 +97,13 @@ type RoundRecord struct {
 	Round    int
 	Clients  int // live roster size at round start
 	Selected int
-	Received int
-	Evicted  int // clients evicted during this round
-	TestAcc  float64
-	Bytes    int64 // uplink bytes received during this round
+	Received int // updates that passed integrity screening and were aggregated
+	Evicted  int // clients evicted during this round (deadline, link or quarantine)
+	// Quarantined counts updates rejected by the integrity screen this
+	// round (a subset of Evicted).
+	Quarantined int
+	TestAcc     float64
+	Bytes       int64 // uplink bytes received during this round
 }
 
 // ServerResult summarises a completed session.
@@ -82,6 +118,13 @@ type ServerResult struct {
 	// EndedEarly is set when the roster fell below MinClients and the
 	// session stopped before completing the configured rounds.
 	EndedEarly bool
+	// Quarantines lists every update rejected by the integrity screen
+	// across the session (including rounds restored from a checkpoint).
+	Quarantines []QuarantineRecord
+	// ResumedFrom is the round the session resumed at (-1 for a fresh
+	// session): Rounds[:ResumedFrom] were restored from the checkpoint,
+	// the rest were run by this process.
+	ResumedFrom int
 }
 
 // Server drives synchronous AdaFL over TCP. The round engine is straggler-
@@ -98,11 +141,19 @@ type Server struct {
 	roster    map[int]*clientConn // live, participating this round
 	pending   map[int]*clientConn // registered, admitted at next round start
 	closing   bool                // shutdown underway: reject new registrations
+	dead      bool                // Kill() called: crash simulation, no farewells
+	nextRound int                 // round a client registering now will join (under mu)
 	acceptErr error               // terminal listener failure
 
 	evictedBytes int64 // uplink bytes from already-closed conns (under mu)
 	prevBytes    int64 // cumulative uplink total at end of previous round
+
+	quarantines []QuarantineRecord // touched only by the round loop goroutine
 }
+
+// ErrServerKilled is returned by Run when Kill interrupted the session:
+// the crash-simulation hook for restart/resume testing.
+var ErrServerKilled = fmt.Errorf("rpc: server killed")
 
 type clientConn struct {
 	id      int
@@ -134,6 +185,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.EvalEvery <= 0 {
 		cfg.EvalEvery = 1
 	}
+	if cfg.CheckpointDir != "" {
+		// The atomic rename in checkpoint.Save needs the directory to
+		// exist; creating it here surfaces a bad path at startup instead
+		// of as a failed-checkpoint log line every round.
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("rpc: checkpoint dir: %w", err)
+		}
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -153,21 +212,64 @@ func (s *Server) Addr() string { return s.listener.Addr().String() }
 
 // Run accepts NumClients registrations, executes the configured rounds
 // (tolerating stragglers, dead links and re-joins), shuts the surviving
-// clients down and returns the session result.
+// clients down and returns the session result. With CheckpointDir set,
+// every completed round is snapshotted; with Resume set, the session
+// restores the snapshot and continues from the round after the crash.
 func (s *Server) Run() (*ServerResult, error) {
+	model := s.cfg.NewModel()
+	global := model.ParamVector()
+	globalDelta := make([]float64, len(global))
+
+	res := &ServerResult{ResumedFrom: -1}
+	planner := newServerSelector(s.cfg.Cfg)
+	startRound := 0
+	if s.cfg.Resume && s.cfg.CheckpointDir != "" {
+		snap, err := s.loadCheckpoint(len(global))
+		if err != nil {
+			s.listener.Close()
+			return nil, err
+		}
+		if snap != nil {
+			startRound = snap.CompletedRound + 1
+			copy(global, snap.Global)
+			copy(globalDelta, snap.GlobalDelta)
+			planner.lastSel = snap.SelectorLastSel
+			if planner.lastSel == nil {
+				planner.lastSel = map[int]int{}
+			}
+			res.Rounds = snap.History
+			res.BytesReceived = snap.BytesReceived
+			res.Evictions = snap.Evictions
+			res.FinalAcc = snap.FinalAcc
+			res.Quarantines = snap.Quarantines
+			s.quarantines = snap.Quarantines
+			res.ResumedFrom = startRound
+			if s.cfg.RNG != nil && snap.RNG != nil {
+				*s.cfg.RNG = *snap.RNG
+			}
+			s.cfg.Logf("server: resumed session at round %d (%d rounds restored, final acc so far %.3f)",
+				startRound+1, len(snap.History), snap.FinalAcc)
+		}
+	}
+	if startRound >= s.cfg.Rounds {
+		// Crash landed after the final round's checkpoint: nothing left
+		// to train. Don't block on a quorum that may never re-form; any
+		// straggling redials are turned away with a shutdown notice.
+		s.shutdown(fmt.Sprintf("done (resumed complete session): %d rounds, final acc %.3f",
+			len(res.Rounds), res.FinalAcc))
+		return res, nil
+	}
+	s.mu.Lock()
+	s.nextRound = startRound
+	s.mu.Unlock()
+
 	go s.acceptLoop()
 	if err := s.waitForQuorum(); err != nil {
 		s.shutdown("listener failed")
 		return nil, err
 	}
 
-	model := s.cfg.NewModel()
-	global := model.ParamVector()
-	globalDelta := make([]float64, len(global))
-
-	res := &ServerResult{}
-	planner := newServerSelector(s.cfg.Cfg)
-	for round := 0; round < s.cfg.Rounds; round++ {
+	for round := startRound; round < s.cfg.Rounds; round++ {
 		s.admitPending(round)
 		if live := s.liveCount(); live < s.cfg.MinClients {
 			s.cfg.Logf("server: %d live clients < MinClients %d, ending session after %d rounds",
@@ -182,12 +284,49 @@ func (s *Server) Run() (*ServerResult, error) {
 		if !math.IsNaN(rec.TestAcc) && rec.TestAcc > 0 {
 			res.FinalAcc = rec.TestAcc
 		}
+		res.Quarantines = s.quarantines
+		if s.cfg.CheckpointDir != "" {
+			if err := s.saveCheckpoint(round, global, globalDelta, planner, res); err != nil {
+				s.cfg.Logf("server: checkpoint after round %d failed (continuing): %v", round+1, err)
+			}
+		}
 		if s.cfg.OnRound != nil {
 			s.cfg.OnRound(rec)
+		}
+		if s.isDead() {
+			return res, ErrServerKilled
 		}
 	}
 	s.shutdown(fmt.Sprintf("done: %d rounds, final acc %.3f", len(res.Rounds), res.FinalAcc))
 	return res, nil
+}
+
+// Kill simulates a server crash for restart testing: the listener and
+// every connection are torn down with no farewell messages, and Run
+// returns ErrServerKilled at the next round boundary. State not yet
+// checkpointed is lost, exactly as in a real crash.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	s.dead = true
+	s.closing = true
+	conns := make([]*clientConn, 0, len(s.roster)+len(s.pending))
+	for _, c := range s.roster {
+		conns = append(conns, c)
+	}
+	for _, c := range s.pending {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.listener.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+}
+
+func (s *Server) isDead() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
 }
 
 // acceptLoop admits registrations for the whole session so that evicted
@@ -219,8 +358,8 @@ func (s *Server) handshake(raw net.Conn) {
 	conn.SetReadDeadline(time.Time{})
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closing {
+		s.mu.Unlock()
 		conn.Send(&Envelope{Type: MsgShutdown, Info: "session over"})
 		conn.Close()
 		return
@@ -228,14 +367,34 @@ func (s *Server) handshake(raw net.Conn) {
 	_, live := s.roster[hello.ClientID]
 	_, queued := s.pending[hello.ClientID]
 	if live || queued {
+		s.mu.Unlock()
 		s.cfg.Logf("server: rejecting duplicate client id %d", hello.ClientID)
 		conn.Send(&Envelope{Type: MsgShutdown, Info: fmt.Sprintf("duplicate client id %d", hello.ClientID)})
 		conn.Close()
 		return
 	}
 	s.pending[hello.ClientID] = &clientConn{id: hello.ClientID, conn: conn, samples: hello.NumSamples}
-	s.cfg.Logf("server: client %d registered (%d samples)", hello.ClientID, hello.NumSamples)
+	next := s.nextRound
+	s.cfg.Logf("server: client %d registered (%d samples), joins at round %d", hello.ClientID, hello.NumSamples, next+1)
 	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	// Welcome outside the lock: a stalled peer must not block round
+	// machinery that needs s.mu. Round tells a redialling client it is
+	// joining a resumed/in-progress session, not round 0.
+	conn.SetWriteDeadline(time.Now().Add(helloTimeout))
+	if err := conn.Send(&Envelope{Type: MsgWelcome, Round: next}); err != nil {
+		s.mu.Lock()
+		if c, ok := s.pending[hello.ClientID]; ok && c.conn == conn {
+			delete(s.pending, hello.ClientID)
+		}
+		s.mu.Unlock()
+		// If admitPending already moved it to the roster, the dead link
+		// surfaces at the next phase and the normal eviction path runs.
+		conn.Close()
+		return
+	}
+	conn.SetWriteDeadline(time.Time{})
 }
 
 func (s *Server) waitForQuorum() error {
@@ -252,6 +411,7 @@ func (s *Server) waitForQuorum() error {
 func (s *Server) admitPending(round int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.nextRound = round + 1 // registrations from here on join the next round
 	for id, c := range s.pending {
 		delete(s.pending, id)
 		s.roster[id] = c
@@ -402,11 +562,14 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 			updCh <- updRes{c: c, upd: e.Update}
 		}()
 	}
-	// Aggregate the partial set (FedAvg weighted by sample counts of the
-	// round's roster; the 1/weightSum renormalisation keeps the average
-	// well-formed when some selected updates never arrive).
-	agg := make([]float64, len(global))
-	weightSum := 0.0
+	// Collect the partial set, then screen it: structural validation,
+	// NaN/Inf scrubbing and the median-relative norm gate all run before
+	// a single coordinate touches the accumulator. Quarantined clients
+	// are evicted exactly like stragglers, so their weight leaves the
+	// renormalisation and the global model is bitwise unaffected by the
+	// rejected update.
+	received := make([]roundUpdate, 0, len(alive))
+	connByID := make(map[int]*clientConn, len(alive))
 	for range alive {
 		r := <-updCh
 		if r.err != nil {
@@ -415,11 +578,28 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 			continue
 		}
 		if r.upd != nil {
-			w := float64(r.c.samples) / float64(totalSamples)
-			r.upd.AddTo(agg, w)
-			weightSum += w
-			rec.Received++
+			received = append(received, roundUpdate{clientID: r.c.id, samples: r.c.samples, upd: r.upd})
+			connByID[r.c.id] = r.c
 		}
+	}
+	kept, quarantined := screenUpdates(round, len(global), s.cfg.MaxUpdateNorm, received, s.cfg.Logf)
+	for _, q := range quarantined {
+		s.evict(connByID[q.ClientID], round, fmt.Errorf("quarantined update: %s", q.Reason))
+		rec.Evicted++
+		rec.Quarantined++
+	}
+	s.quarantines = append(s.quarantines, quarantined...)
+
+	// Aggregate the survivors (FedAvg weighted by sample counts of the
+	// round's roster; the 1/weightSum renormalisation keeps the average
+	// well-formed when some selected updates never arrive).
+	agg := make([]float64, len(global))
+	weightSum := 0.0
+	for _, u := range kept {
+		w := float64(u.samples) / float64(totalSamples)
+		u.upd.AddTo(agg, w)
+		weightSum += w
+		rec.Received++
 	}
 	before := tensor.CopyVec(global)
 	if weightSum > 0 {
@@ -457,6 +637,90 @@ func (s *Server) shutdown(info string) {
 		c.conn.Send(&Envelope{Type: MsgShutdown, Info: info})
 		c.conn.Close()
 	}
+}
+
+// snapshotFile is the checkpoint file name within CheckpointDir.
+const snapshotFile = "session.ckpt"
+
+// sessionSnapshot is the durable session state written after every
+// completed round: everything needed to continue from round
+// CompletedRound+1 in a fresh process. ParamDim/NumClients/Rounds guard
+// a resume against a mismatched model or flag set.
+type sessionSnapshot struct {
+	CompletedRound  int
+	ParamDim        int
+	NumClients      int
+	Rounds          int
+	Global          []float64
+	GlobalDelta     []float64
+	SelectorLastSel map[int]int
+	History         []RoundRecord
+	Quarantines     []QuarantineRecord
+	BytesReceived   int64
+	Evictions       int
+	FinalAcc        float64
+	RNG             *stats.RNG
+}
+
+func (s *Server) checkpointPath() string {
+	return filepath.Join(s.cfg.CheckpointDir, snapshotFile)
+}
+
+func (s *Server) saveCheckpoint(round int, global, globalDelta []float64,
+	planner *serverSelector, res *ServerResult) error {
+	lastSel := make(map[int]int, len(planner.lastSel))
+	for id, r := range planner.lastSel {
+		lastSel[id] = r
+	}
+	return checkpoint.Save(s.checkpointPath(), &sessionSnapshot{
+		CompletedRound:  round,
+		ParamDim:        len(global),
+		NumClients:      s.cfg.NumClients,
+		Rounds:          s.cfg.Rounds,
+		Global:          global,
+		GlobalDelta:     globalDelta,
+		SelectorLastSel: lastSel,
+		History:         res.Rounds,
+		Quarantines:     s.quarantines,
+		BytesReceived:   res.BytesReceived,
+		Evictions:       res.Evictions,
+		FinalAcc:        res.FinalAcc,
+		RNG:             s.cfg.RNG,
+	})
+}
+
+// loadCheckpoint restores the snapshot for a resumed session. A missing
+// file is not an error — the session starts fresh, so a supervisor can
+// unconditionally pass Resume — but a corrupt file or a snapshot from a
+// different model/configuration is fatal: silently training from
+// scratch would masquerade as a resumed session.
+func (s *Server) loadCheckpoint(dim int) (*sessionSnapshot, error) {
+	path := s.checkpointPath()
+	if !checkpoint.Exists(path) {
+		s.cfg.Logf("server: no checkpoint at %s, starting fresh", path)
+		return nil, nil
+	}
+	var snap sessionSnapshot
+	if err := checkpoint.Load(path, &snap); err != nil {
+		return nil, fmt.Errorf("rpc: resume from %s: %w", path, err)
+	}
+	if snap.ParamDim != dim {
+		return nil, fmt.Errorf("rpc: resume from %s: snapshot is for a %d-parameter model, this server has %d (model or seed changed?)",
+			path, snap.ParamDim, dim)
+	}
+	if len(snap.Global) != dim || len(snap.GlobalDelta) != dim {
+		return nil, fmt.Errorf("rpc: resume from %s: inconsistent vector lengths %d/%d vs dim %d",
+			path, len(snap.Global), len(snap.GlobalDelta), dim)
+	}
+	if snap.CompletedRound < 0 || snap.CompletedRound >= s.cfg.Rounds {
+		return nil, fmt.Errorf("rpc: resume from %s: completed round %d outside session of %d rounds",
+			path, snap.CompletedRound, s.cfg.Rounds)
+	}
+	if snap.NumClients != s.cfg.NumClients || snap.Rounds != s.cfg.Rounds {
+		s.cfg.Logf("server: resume: snapshot taken with %d clients / %d rounds, now %d / %d",
+			snap.NumClients, snap.Rounds, s.cfg.NumClients, s.cfg.Rounds)
+	}
+	return &snap, nil
 }
 
 // serverSelector applies Algorithm 1 + the fairness reservation over

@@ -4,7 +4,11 @@
 // that experiments are exactly reproducible run to run.
 package stats
 
-import "math"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // RNG is a splitmix64-based pseudo-random generator. It is deliberately not
 // math/rand: we want a tiny, allocation-free generator whose sequence is
@@ -21,6 +25,34 @@ type RNG struct {
 // seed produce identical sequences.
 func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
+}
+
+// rngGobLen is state(8) + spare(8) + spareOK(1).
+const rngGobLen = 17
+
+// GobEncode implements gob.GobEncoder, capturing the generator's exact
+// position (including the cached Box-Muller spare) so checkpointed
+// sessions resume their random streams mid-sequence rather than
+// replaying from the seed.
+func (r *RNG) GobEncode() ([]byte, error) {
+	buf := make([]byte, rngGobLen)
+	binary.LittleEndian.PutUint64(buf[0:8], r.state)
+	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(r.spare))
+	if r.spareOK {
+		buf[16] = 1
+	}
+	return buf, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (r *RNG) GobDecode(data []byte) error {
+	if len(data) != rngGobLen {
+		return fmt.Errorf("stats: RNG state is %d bytes, want %d", len(data), rngGobLen)
+	}
+	r.state = binary.LittleEndian.Uint64(data[0:8])
+	r.spare = math.Float64frombits(binary.LittleEndian.Uint64(data[8:16]))
+	r.spareOK = data[16] == 1
+	return nil
 }
 
 // Split derives an independent generator from r. The derived stream is

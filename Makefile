@@ -4,9 +4,19 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos fuzz bench bench-gemm bench-train
+.PHONY: check lint vet build test race chaos fuzz bench bench-gemm bench-train
 
-check: vet build test race
+check: lint build test race
+
+# Static gate: vet plus gofmt as a *failing* check — gofmt -l prints the
+# offending files and the target exits non-zero if any exist.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -19,9 +29,10 @@ test:
 
 # The packages that spawn goroutines (parallel GEMM, parallel evaluation,
 # parallel client rounds, the concurrent RPC round engine and its chaos
-# suite) plus the crash-safety layer under the race detector.
+# suite) plus the crash-safety layer and the shared-registry observability
+# layer under the race detector.
 race:
-	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/...
+	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/... ./internal/obs/...
 
 # The full-session fault-injection suite (stragglers, partitions, drops,
 # kill-and-restart resume) under the race detector.
@@ -40,6 +51,10 @@ fuzz:
 bench-gemm:
 	$(GO) test -run xxx -bench 'BenchmarkMatMul|BenchmarkMatMulNaive|BenchmarkMatMulParallel|BenchmarkMatMulTranspose' -benchtime 2s -benchmem ./internal/tensor/
 
+# BENCH_4.json records the observability-overhead check: BenchmarkTrainRound
+# with metrics disabled (nil registry) must match the pre-obs baseline —
+# the nil-receiver no-op instruments are allocation-free by construction
+# (pinned by TestNilInstrumentsAllocationFree in internal/obs).
 bench-train:
 	$(GO) test -run xxx -bench 'BenchmarkConv|BenchmarkDense' -benchtime 2s -benchmem ./internal/nn/
 	$(GO) test -run xxx -bench 'BenchmarkTrainRound|BenchmarkPaperCNNTrainBatch|BenchmarkDGCEncode431k|BenchmarkTopKSelect431k' -benchtime 2s -benchmem .

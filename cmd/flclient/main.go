@@ -16,6 +16,7 @@ import (
 	"adafl/internal/core"
 	"adafl/internal/dataset"
 	"adafl/internal/nn"
+	"adafl/internal/obs"
 	"adafl/internal/rpc"
 	"adafl/internal/stats"
 )
@@ -36,6 +37,7 @@ func main() {
 	lr := flag.Float64("lr", 0.1, "learning rate")
 	retries := flag.Int("retries", 3, "consecutive failed redial attempts tolerated (budget resets once a connection makes progress)")
 	backoff := flag.Duration("retry-backoff", 200*time.Millisecond, "initial redial backoff window; doubles per attempt, each wait drawn uniformly from it (full jitter)")
+	metricsAddr := flag.String("metrics-addr", "", "listen address for the debug HTTP server (/metrics, /healthz, /debug/pprof); empty disables it")
 	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -61,6 +63,17 @@ func main() {
 	}
 	cfg := core.DefaultConfig()
 
+	var metrics *obs.Registry
+	if *metricsAddr != "" {
+		metrics = obs.NewRegistry()
+		dbg, err := obs.NewDebugServer(*metricsAddr, metrics)
+		if err != nil {
+			log.Fatalf("flclient %d: metrics server: %v", *id, err)
+		}
+		defer dbg.Close()
+		log.Printf("flclient %d: metrics at http://%s/metrics", *id, dbg.Addr())
+	}
+
 	log.Printf("flclient %d: %d local samples, dialing %s", *id, shard.Len(), *addr)
 	res, err := rpc.RunClient(rpc.ClientConfig{
 		Addr: *addr, ID: *id, Data: shard, NewModel: newModel,
@@ -70,7 +83,7 @@ func main() {
 		DGCMomentum:    cfg.DGCMomentum, DGCClip: cfg.DGCClip, DGCMsgClip: cfg.DGCMsgClip,
 		Seed:       *seed + 100 + uint64(*id),
 		MaxRetries: *retries, RetryBackoff: *backoff,
-		Fault: faults.Config(),
+		Fault: faults.Config(), Metrics: metrics,
 	})
 	if err != nil {
 		log.Fatal(err)

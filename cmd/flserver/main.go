@@ -17,12 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"time"
 
 	"adafl/internal/core"
 	"adafl/internal/dataset"
 	"adafl/internal/nn"
+	"adafl/internal/obs"
 	"adafl/internal/rpc"
 	"adafl/internal/stats"
 )
@@ -42,6 +42,8 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for the atomic per-round session snapshot (empty disables checkpointing)")
 	resume := flag.Bool("resume", false, "restore the snapshot in -checkpoint-dir and continue from the round after the crash (fresh start if none exists)")
 	maxNorm := flag.Float64("max-update-norm", 10, "quarantine updates whose L2 norm exceeds this multiple of the round median (0 disables the gate)")
+	metricsAddr := flag.String("metrics-addr", "", "listen address for the debug HTTP server (/metrics, /healthz, /debug/pprof); empty disables it")
+	eventLog := flag.String("event-log", "", "append one JSON line per round event (selection, update, evict, quarantine, aggregate, round, checkpoint) to this file; empty disables it")
 	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -66,12 +68,36 @@ func main() {
 	cfg.Compression.WarmupRounds = *warmup
 	cfg.ScaleRatiosForModel(newModel().NumParams())
 
+	var metrics *obs.Registry
+	if *metricsAddr != "" {
+		metrics = obs.NewRegistry()
+		dbg, err := obs.NewDebugServer(*metricsAddr, metrics)
+		if err != nil {
+			log.Fatalf("flserver: metrics server: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("flserver: metrics at http://%s/metrics", dbg.Addr())
+	}
+	var events *obs.EventLog
+	if *eventLog != "" {
+		var err error
+		events, err = obs.OpenEventLog(*eventLog)
+		if err != nil {
+			log.Fatalf("flserver: event log: %v", err)
+		}
+		defer func() {
+			if err := events.Close(); err != nil {
+				log.Printf("flserver: event log close: %v", err)
+			}
+		}()
+	}
+
 	srv, err := rpc.NewServer(rpc.ServerConfig{
 		Addr: *addr, NumClients: *clients, Rounds: *rounds,
 		Cfg: cfg, NewModel: newModel, Test: test, EvalEvery: 1,
 		StragglerTimeout: *straggler, MinClients: *minClients,
 		CheckpointDir: *ckptDir, Resume: *resume, MaxUpdateNorm: *maxNorm,
-		Fault: faults.Config(),
+		Fault: faults.Config(), Metrics: metrics, Events: events,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -88,5 +114,4 @@ func main() {
 	fmt.Printf("final accuracy: %.3f  uplink: %.1f KB  rounds: %d  evictions: %d  quarantined: %d%s%s\n",
 		res.FinalAcc, float64(res.BytesReceived)/1e3, len(res.Rounds), res.Evictions, len(res.Quarantines),
 		map[bool]string{true: "  (ended early: roster below min-clients)"}[res.EndedEarly], resumed)
-	os.Exit(0)
 }

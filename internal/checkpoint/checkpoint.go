@@ -136,18 +136,27 @@ func DecodeLimited(r io.Reader, v interface{}, maxPayload int64) error {
 // directory, fsync, rename, directory fsync. An existing snapshot at
 // path is replaced only once the new one is fully durable.
 func Save(path string, v interface{}) error {
+	_, err := SaveSized(path, v)
+	return err
+}
+
+// SaveSized is Save, additionally reporting the snapshot's on-disk size
+// (header + payload bytes) so callers can record checkpoint size metrics
+// without a second stat of the file.
+func SaveSized(path string, v interface{}) (int64, error) {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("checkpoint: create temp: %w", err)
+		return 0, fmt.Errorf("checkpoint: create temp: %w", err)
 	}
 	tmp := f.Name()
-	fail := func(err error) error {
+	fail := func(err error) (int64, error) {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
-	if err := Encode(f, v); err != nil {
+	cw := &countingWriter{w: f}
+	if err := Encode(cw, v); err != nil {
 		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
@@ -158,7 +167,7 @@ func Save(path string, v interface{}) error {
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: rename: %w", err)
+		return 0, fmt.Errorf("checkpoint: rename: %w", err)
 	}
 	// Make the rename itself durable. Some filesystems reject Sync on a
 	// directory handle; a crash then risks losing only the rename, never
@@ -167,7 +176,19 @@ func Save(path string, v interface{}) error {
 		d.Sync()
 		d.Close()
 	}
-	return nil
+	return cw.n, nil
+}
+
+// countingWriter tracks bytes written through it for SaveSized.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Load reads the snapshot at path into v.

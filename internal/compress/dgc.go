@@ -74,6 +74,15 @@ func (d *DGC) Encode(grad []float64, ratio float64) *Sparse {
 	}
 	g := d.gbuf[:len(grad)]
 	copy(g, grad)
+	// Scrub non-finite coordinates before anything touches the
+	// accumulators: a single NaN would propagate through ClipNorm's norm
+	// and the u/v updates, permanently poisoning the error-feedback state
+	// for every later round. Zero keeps the coordinate's residual intact.
+	for i, x := range g {
+		if !finite(x) {
+			g[i] = 0
+		}
+	}
 	if d.ClipNorm > 0 {
 		tensor.ClipNorm(g, d.ClipNorm)
 	}

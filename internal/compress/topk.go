@@ -1,23 +1,36 @@
 package compress
 
 import (
+	"math"
 	"sort"
 
 	"adafl/internal/tensor"
 )
 
+// finite reports whether x is neither NaN nor ±Inf. The selection path
+// treats non-finite coordinates as zero magnitude: a NaN inside the
+// quickselect partition compares false against everything and can leave
+// the pivot ordering — and with it the loop bounds — inconsistent, and a
+// ±Inf would pass every threshold and be transmitted verbatim, poisoning
+// the server-side aggregate.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
 // topKThreshold returns the magnitude of the k-th largest |v| using an
-// iterative quickselect over scratch (O(n) expected). k must be in
-// [1, len(v)] and scratch must have length len(v); its contents are
-// clobbered.
+// iterative quickselect over scratch (O(n) expected). Non-finite entries
+// rank as zero magnitude. k must be in [1, len(v)] and scratch must have
+// length len(v); its contents are clobbered.
 func topKThreshold(v []float64, k int, scratch []float64) float64 {
 	abs := scratch[:len(v)]
 	for i, x := range v {
 		if x < 0 {
-			abs[i] = -x
-		} else {
-			abs[i] = x
+			x = -x
 		}
+		if !finite(x) {
+			x = 0
+		}
+		abs[i] = x
 	}
 	// Select the element at rank len-k in ascending order.
 	target := len(abs) - k
@@ -59,7 +72,7 @@ func SelectTopK(v []float64, k int) *Sparse {
 		panic("compress: non-positive k")
 	}
 	if k >= len(v) {
-		return NewSparseDense(v)
+		return denseFinite(v)
 	}
 	scratch := tensor.GetScratch(len(v))
 	s := SelectTopKScratch(v, k, scratch)
@@ -75,7 +88,7 @@ func SelectTopKScratch(v []float64, k int, scratch []float64) *Sparse {
 		panic("compress: non-positive k")
 	}
 	if k >= len(v) {
-		return NewSparseDense(v)
+		return denseFinite(v)
 	}
 	if cap(scratch) < len(v) {
 		return SelectTopK(v, k)
@@ -84,7 +97,13 @@ func SelectTopKScratch(v []float64, k int, scratch []float64) *Sparse {
 	s := &Sparse{Dim: len(v), Indices: make([]int32, 0, k), Values: make([]float64, 0, k)}
 	// First take strictly-above-threshold entries, then fill with
 	// at-threshold entries until k (handles duplicates of the threshold).
+	// Non-finite entries are never transmitted: +Inf would pass any
+	// threshold and NaN compares false everywhere, so both are skipped
+	// explicitly (they ranked as zero magnitude in topKThreshold).
 	for i, x := range v {
+		if !finite(x) {
+			continue
+		}
 		a := x
 		if a < 0 {
 			a = -a
@@ -109,6 +128,21 @@ func SelectTopKScratch(v []float64, k int, scratch []float64) *Sparse {
 	}
 	// Keep coordinates sorted for deterministic wire images.
 	sort.Sort(byIndex{s})
+	return s
+}
+
+// denseFinite is the k ≥ len(v) fast path: every finite coordinate is
+// transmitted, non-finite ones are dropped (zero magnitude). With an
+// all-finite input it is equivalent to NewSparseDense.
+func denseFinite(v []float64) *Sparse {
+	s := &Sparse{Dim: len(v), Indices: make([]int32, 0, len(v)), Values: make([]float64, 0, len(v))}
+	for i, x := range v {
+		if !finite(x) {
+			continue
+		}
+		s.Indices = append(s.Indices, int32(i))
+		s.Values = append(s.Values, x)
+	}
 	return s
 }
 

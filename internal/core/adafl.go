@@ -6,6 +6,7 @@ import (
 	"adafl/internal/compress"
 	"adafl/internal/device"
 	"adafl/internal/fl"
+	"adafl/internal/obs"
 	"adafl/internal/tensor"
 )
 
@@ -112,6 +113,10 @@ type SyncPlanner struct {
 	// RatioStats tracks the spread of assigned ratios for the tables.
 	RatioStats RatioTracker
 
+	// Metrics, when non-nil, receives the utility-score and assigned-ratio
+	// histograms (adafl_utility_score, adafl_compression_ratio).
+	Metrics *obs.Registry
+
 	// lastSel records the round each client last participated, for the
 	// ExploreFrac fairness reservation.
 	lastSel []int
@@ -148,6 +153,7 @@ func (p *SyncPlanner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
 	}
 
 	scores := make([]float64, n)
+	scoreHist := p.Metrics.Histogram("adafl_utility_score", obs.ScoreBuckets)
 	for i, c := range e.Fed.Clients {
 		up, down := e.Fed.Net.Bandwidths(i, e.Now())
 		local := c.LastDelta
@@ -155,6 +161,7 @@ func (p *SyncPlanner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
 			local = e.LastGlobalDelta // untried client: score as aligned
 		}
 		scores[i] = p.Cfg.Utility.Score(up, down, local, e.LastGlobalDelta)
+		scoreHist.Observe(scores[i])
 		if p.Perf != nil {
 			p.Perf.Record("utility-score",
 				p.PerfProfile.CyclesForFLOPs(device.UtilityScoreFLOPs(len(local))))
@@ -193,11 +200,29 @@ func (p *SyncPlanner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
 		selected = append(selected, ScoredClient{Client: best, Score: scores[best]})
 	}
 
+	// Fallback: with ExploreFrac 0 and every score below τ, Algorithm 1
+	// selects nobody and the round would burn wall-clock with no updates.
+	// Treat the round like warm-up instead: full participation at the
+	// warm-up ratio, which also refreshes every client's cached delta so
+	// the next round's scores are informed.
+	ratioHist := p.Metrics.Histogram("adafl_compression_ratio", obs.RatioBuckets)
+	if len(selected) == 0 {
+		ratio := p.Cfg.Compression.WarmupRatio
+		out := make([]fl.Participation, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, fl.Participation{Client: i, Ratio: ratio})
+			p.RatioStats.Observe(ratio)
+			ratioHist.Observe(ratio)
+			p.lastSel[i] = round
+		}
+		return out
+	}
 	out := make([]fl.Participation, 0, len(selected))
 	for rank, sc := range selected {
 		ratio := p.Cfg.Compression.RatioForRank(rank, len(selected), round)
 		out = append(out, fl.Participation{Client: sc.Client, Ratio: ratio})
 		p.RatioStats.Observe(ratio)
+		ratioHist.Observe(ratio)
 		p.lastSel[sc.Client] = round
 		if p.Perf != nil {
 			p.Perf.Record("dgc-encode",
@@ -217,6 +242,9 @@ type AsyncGate struct {
 	// Perf mirrors SyncPlanner.Perf.
 	Perf        *device.PerfMonitor
 	PerfProfile device.Profile
+
+	// Metrics mirrors SyncPlanner.Metrics.
+	Metrics *obs.Registry
 
 	RatioStats RatioTracker
 	decisions  int
@@ -252,6 +280,7 @@ func (g *AsyncGate) Decide(e *fl.AsyncEngine, client int, delta []float64) (bool
 	}
 	up, down := e.Fed.Net.Bandwidths(client, e.Now())
 	score := g.Cfg.Utility.Score(up, down, delta, e.LastGlobalDelta)
+	g.Metrics.Histogram("adafl_utility_score", obs.ScoreBuckets).Observe(score)
 	if g.Perf != nil {
 		g.Perf.Record("utility-score",
 			g.PerfProfile.CyclesForFLOPs(device.UtilityScoreFLOPs(len(delta))))
@@ -262,6 +291,7 @@ func (g *AsyncGate) Decide(e *fl.AsyncEngine, client int, delta []float64) (bool
 	}
 	ratio := g.Cfg.Compression.RatioForScore(score, e.Version)
 	g.RatioStats.Observe(ratio)
+	g.Metrics.Histogram("adafl_compression_ratio", obs.RatioBuckets).Observe(ratio)
 	if g.Perf != nil {
 		g.Perf.Record("dgc-encode",
 			g.PerfProfile.CyclesForFLOPs(device.DGCEncodeFLOPs(len(delta))))

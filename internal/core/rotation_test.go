@@ -53,6 +53,31 @@ func TestSyncPlannerNoExplorationCanStarve(t *testing.T) {
 	}
 }
 
+// TestSyncPlannerEmptySelectionFallsBack pins the τ-starvation fallback:
+// with ExploreFrac 0 and a threshold no score can reach, Algorithm 1
+// selects nobody. The planner must fall back to warm-up-style full
+// participation (everyone at the warm-up ratio) instead of returning an
+// empty plan that wastes the round.
+func TestSyncPlannerEmptySelectionFallsBack(t *testing.T) {
+	n := 6
+	fed := newFed(n, true, 40)
+	cfg := fastConfig()
+	cfg.Tau = 2 // unreachable: every post-warm-up score is below τ
+	cfg.ExploreFrac = 0
+	cfg.Compression.WarmupRounds = 2
+	cfg.AttachDGC(fed)
+	planner := NewSyncPlanner(cfg)
+	e := fl.NewSyncEngine(fed, fl.FedAvg{}, planner, 41)
+	e.EvalEvery = 0
+	e.RunRounds(5)
+	for _, row := range e.Hist.Rows[cfg.Compression.WarmupRounds:] {
+		if row.Participants != n {
+			t.Fatalf("round %d: %d participants, want fallback full participation (%d)",
+				row.Round, row.Participants, n)
+		}
+	}
+}
+
 func TestAsyncGateWarmupAdmitsEverything(t *testing.T) {
 	fed := newFed(4, true, 34)
 	cfg := fastConfig()

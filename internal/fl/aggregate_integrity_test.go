@@ -66,6 +66,51 @@ func TestAggregatorsRejectMalformedUpdates(t *testing.T) {
 	}
 }
 
+// TestAggregatorsEmptyRoundIsNoOp pins the empty-selection audit: a
+// round where no client delivered (all scores below τ with no fallback,
+// every participant evicted, or total deadline loss) must leave the
+// global model bitwise untouched and finite — no 0/0 from an empty
+// weight sum, for nil, empty, and zero-weight update sets alike.
+func TestAggregatorsEmptyRoundIsNoOp(t *testing.T) {
+	const dim = 6
+	zeroWeight := []Update{{Client: 0, Weight: 0,
+		Delta: &compress.Sparse{Dim: dim, Indices: []int32{1}, Values: []float64{2}}}}
+	type testCase struct {
+		agg     Aggregator
+		name    string
+		updates []Update
+	}
+	var cases []testCase
+	for _, agg := range []Aggregator{FedAvg{}, NewFedAdam(0.1), NewScaffold(1, 4)} {
+		cases = append(cases,
+			testCase{agg, "nil", nil},
+			testCase{agg, "empty", []Update{}})
+	}
+	// Zero total weight divides 0/0 only in the weight-normalizing
+	// aggregators; SCAFFOLD averages unweighted, so a zero-weight update
+	// legitimately moves it and is excluded here.
+	cases = append(cases,
+		testCase{FedAvg{}, "zeroWeight", zeroWeight},
+		testCase{NewFedAdam(0.1), "zeroWeight", zeroWeight})
+	for _, tc := range cases {
+		agg, name, updates := tc.agg, tc.name, tc.updates
+		{
+			global := make([]float64, dim)
+			for i := range global {
+				global[i] = math.Sqrt(float64(i + 1))
+			}
+			before := append([]float64(nil), global...)
+			agg.Apply(global, updates) // must not panic or divide by zero
+			for i := range global {
+				if global[i] != before[i] {
+					t.Fatalf("%s/%s: empty round moved the model at %d: %v vs %v",
+						agg.Name(), name, i, global[i], before[i])
+				}
+			}
+		}
+	}
+}
+
 // TestAggregatorsAllMalformedIsNoOp: a round where every received
 // update is malformed must leave the global model untouched.
 func TestAggregatorsAllMalformedIsNoOp(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 
 	"adafl/internal/compress"
 	"adafl/internal/netsim"
+	"adafl/internal/obs"
 	"adafl/internal/stats"
 	"adafl/internal/tensor"
 )
@@ -36,6 +37,9 @@ type SyncEngine struct {
 	// Downlink, when non-nil, compresses server→client broadcasts (see
 	// DownlinkCompressor); clients then train from per-client replicas.
 	Downlink *DownlinkCompressor
+	// Metrics, when non-nil, receives per-round gauges (accuracy,
+	// participant counts, cumulative bytes). Nil disables metrics.
+	Metrics *obs.Registry
 
 	// Global is the flat global parameter vector.
 	Global []float64
@@ -204,6 +208,20 @@ func (e *SyncEngine) RunRound() {
 		row.TestAcc, row.TestLoss = e.Fed.Evaluate(e.Global)
 	}
 	e.Hist.Add(row)
+	e.recordMetrics(row)
+}
+
+// recordMetrics mirrors the history row into the metrics registry; a nil
+// registry hands out nil instruments, so the whole body is no-ops.
+func (e *SyncEngine) recordMetrics(row RoundStats) {
+	m := e.Metrics
+	m.Counter("adafl_rounds_total").Inc()
+	m.Gauge("adafl_round_clients").Set(float64(row.Participants))
+	m.Gauge("adafl_round_received").Set(float64(row.Received))
+	m.Gauge("adafl_sim_seconds").Set(row.Time)
+	if !math.IsNaN(row.TestAcc) {
+		m.Gauge("adafl_round_accuracy").Set(row.TestAcc)
+	}
 }
 
 // FixedRatePlanner implements the baselines' client sampling: every round

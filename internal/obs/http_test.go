@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("adafl_rounds_total").Add(7)
+	srv, err := NewDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		cl := &http.Client{Timeout: 5 * time.Second}
+		resp, err := cl.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 ||
+		!strings.Contains(body, "adafl_rounds_total 7") ||
+		!strings.Contains(body, "# TYPE adafl_rounds_total counter") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d (len %d)", code, len(body))
+	}
+}
+
+func TestDebugServerNilRegistry(t *testing.T) {
+	srv, err := NewDebugServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics with nil registry = %d", resp.StatusCode)
+	}
+}
+
+func TestDebugServerBadAddr(t *testing.T) {
+	if _, err := NewDebugServer("256.0.0.1:bad", nil); err == nil {
+		t.Fatal("bad address must error")
+	}
+}

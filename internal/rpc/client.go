@@ -11,6 +11,7 @@ import (
 	"adafl/internal/core"
 	"adafl/internal/dataset"
 	"adafl/internal/nn"
+	"adafl/internal/obs"
 	"adafl/internal/stats"
 	"adafl/internal/tensor"
 )
@@ -61,6 +62,11 @@ type ClientConfig struct {
 	// Fault, when non-nil, wraps the dialed connection with injected link
 	// faults (chaos testing and demos).
 	Fault *FaultConfig
+
+	// Metrics, when non-nil, receives the client's operational metrics
+	// (redials, backoff waits, local-training latency, uploads, bytes
+	// sent). Nil disables metrics at zero cost.
+	Metrics *obs.Registry
 }
 
 // ClientResult summarises a completed client session.
@@ -108,6 +114,8 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 		}
 		retries++
 		wait := backoff.next()
+		sess.met.redials.Inc()
+		sess.met.backoffSec.Observe(wait.Seconds())
 		cfg.Logf("client %d: link lost (%v); reconnect %d/%d in %v",
 			cfg.ID, err, retries, cfg.MaxRetries, wait)
 		time.Sleep(wait)
@@ -123,6 +131,7 @@ type clientSession struct {
 	iter  *dataset.Iterator
 	codec *compress.DGC
 	res   *ClientResult
+	met   clientMetrics
 }
 
 func newClientSession(cfg ClientConfig) *clientSession {
@@ -133,6 +142,7 @@ func newClientSession(cfg ClientConfig) *clientSession {
 		iter:  dataset.NewIterator(cfg.Data, cfg.BatchSize, stats.NewRNG(cfg.Seed)),
 		codec: &compress.DGC{Momentum: cfg.DGCMomentum, ClipNorm: cfg.DGCClip, MsgClipFactor: cfg.DGCMsgClip},
 		res:   &ClientResult{},
+		met:   newClientMetrics(cfg.Metrics),
 	}
 }
 
@@ -150,7 +160,16 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 		throttle = NewTokenBucket(cfg.UpBps)
 	}
 	conn := NewConn(WrapFault(raw, cfg.Fault), throttle)
+	// The live counter advances by delta at every upload, not only at
+	// connection close — a mid-session /metrics scrape must see traffic.
+	var counted int64
+	countSent := func() {
+		total := conn.BytesSent()
+		s.met.bytesSent.Add(total - counted)
+		counted = total
+	}
 	defer func() {
+		countSent()
 		s.res.BytesSent += conn.BytesSent()
 		conn.Close()
 	}()
@@ -187,12 +206,14 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 			}
 			// Local training from the received global model.
 			s.model.SetParamVector(e.Params)
+			trainStart := time.Now()
 			for step := 0; step < cfg.LocalSteps; step++ {
 				x, labels := s.iter.Next()
 				s.model.ZeroGrads()
 				s.model.TrainBatch(x, labels)
 				s.opt.Step(s.model)
 			}
+			s.met.trainSec.Observe(time.Since(trainStart).Seconds())
 			local := s.model.ParamVector()
 			delta := make([]float64, len(local))
 			tensor.SubVec(delta, local, e.Params)
@@ -214,6 +235,7 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 			}
 			s.res.Rounds++
 			if sel.Ratio <= 0 {
+				s.met.withheld.Inc()
 				continue // withheld this round
 			}
 			msg := s.codec.Encode(delta, sel.Ratio)
@@ -221,6 +243,8 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 				return false, true, err
 			}
 			s.res.Uploads++
+			s.met.uploads.Inc()
+			countSent()
 		default:
 			return false, true, fmt.Errorf("rpc: client %d unexpected message %v: %w", cfg.ID, e.Type, errProtocol)
 		}

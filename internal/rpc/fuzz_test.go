@@ -20,14 +20,14 @@ type byteConn struct {
 	r io.Reader
 }
 
-func (b *byteConn) Read(p []byte) (int, error)         { return b.r.Read(p) }
-func (b *byteConn) Write(p []byte) (int, error)        { return len(p), nil }
-func (b *byteConn) Close() error                       { return nil }
-func (b *byteConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
-func (b *byteConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
-func (b *byteConn) SetDeadline(time.Time) error        { return nil }
-func (b *byteConn) SetReadDeadline(time.Time) error    { return nil }
-func (b *byteConn) SetWriteDeadline(time.Time) error   { return nil }
+func (b *byteConn) Read(p []byte) (int, error)       { return b.r.Read(p) }
+func (b *byteConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (b *byteConn) Close() error                     { return nil }
+func (b *byteConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (b *byteConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (b *byteConn) SetDeadline(time.Time) error      { return nil }
+func (b *byteConn) SetReadDeadline(time.Time) error  { return nil }
+func (b *byteConn) SetWriteDeadline(time.Time) error { return nil }
 
 // fixtureEnvelopes covers every message type with its relevant fields
 // populated (slices non-empty so gob round-trips them structurally).

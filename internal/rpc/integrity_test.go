@@ -29,11 +29,11 @@ func TestScreenUpdatesBitwiseUnaffected(t *testing.T) {
 		mkUpdate(2, dim, []int32{2, 7}, []float64{0.25, 0.05}),
 	}
 	attack := []roundUpdate{
-		mkUpdate(7, dim, []int32{0, int32(dim)}, []float64{1, 999}),     // index out of range
-		mkUpdate(8, dim, []int32{0, 1}, []float64{1}),                   // length mismatch
-		mkUpdate(9, dim, []int32{3, 4}, []float64{4e6, -7e6}),           // norm outlier
-		mkUpdate(10, dim, []int32{2}, []float64{math.NaN()}),            // entirely non-finite
-		{clientID: 11, samples: 50, upd: nil},                           // nil message
+		mkUpdate(7, dim, []int32{0, int32(dim)}, []float64{1, 999}), // index out of range
+		mkUpdate(8, dim, []int32{0, 1}, []float64{1}),               // length mismatch
+		mkUpdate(9, dim, []int32{3, 4}, []float64{4e6, -7e6}),       // norm outlier
+		mkUpdate(10, dim, []int32{2}, []float64{math.NaN()}),        // entirely non-finite
+		{clientID: 11, samples: 50, upd: nil},                       // nil message
 	}
 	aggregate := func(ups []roundUpdate) []float64 {
 		global := make([]float64, dim)

@@ -252,3 +252,37 @@ func TestServerSelectorSparseIDs(t *testing.T) {
 		t.Fatalf("empty scores planned %d clients", len(plan))
 	}
 }
+
+// TestServerSelectorEmptySelectionFallsBack pins the τ-starvation
+// fallback on the wire-protocol selector: with ExploreFrac 0 and every
+// reported score below τ, Algorithm 1 selects nobody, and the selector
+// must fall back to warm-up-style full participation rather than waste
+// the round on an empty plan.
+func TestServerSelectorEmptySelectionFallsBack(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.K = 2
+	cfg.Tau = 0.9
+	cfg.ExploreFrac = 0
+	cfg.Compression.WarmupRounds = 1
+	sel := newServerSelector(cfg)
+
+	scores := map[int]float64{1: 0.1, 5: 0.2, 9: 0.05} // all below τ
+	plan := sel.plan(3, scores)                        // round 3: past warm-up
+	if len(plan) != len(scores) {
+		t.Fatalf("fallback planned %d of %d clients", len(plan), len(scores))
+	}
+	for id, ratio := range plan {
+		if _, ok := scores[id]; !ok {
+			t.Fatalf("fallback selected absent client %d", id)
+		}
+		if ratio != cfg.Compression.WarmupRatio {
+			t.Fatalf("client %d: ratio %v, want warm-up ratio %v", id, ratio, cfg.Compression.WarmupRatio)
+		}
+	}
+	// The fallback must count as a selection for fairness bookkeeping.
+	for id := range scores {
+		if sel.last(id) != 3 {
+			t.Fatalf("client %d: lastSel %d, want 3", id, sel.last(id))
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"adafl/internal/core"
 	"adafl/internal/dataset"
 	"adafl/internal/nn"
+	"adafl/internal/obs"
 	"adafl/internal/stats"
 	"adafl/internal/tensor"
 )
@@ -83,6 +84,18 @@ type ServerConfig struct {
 	// validation (index bounds, length pairing) and NaN/Inf scrubbing
 	// are always on.
 	MaxUpdateNorm float64
+	// Metrics, when non-nil, receives the server's operational metrics:
+	// round/phase latencies, uplink/downlink bytes, evictions,
+	// quarantines, reconnects, utility-score and compression-ratio
+	// distributions (metric catalogue in DESIGN.md §Observability). Nil
+	// disables metrics at zero cost.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives one structured JSONL record per
+	// round event: selection with scores, per-client ratio assignment,
+	// update received/evicted/quarantined, aggregation, the round
+	// summary, and checkpoint saves. The log is flushed (and fsynced)
+	// at every round boundary.
+	Events *obs.EventLog
 	// RNG, when non-nil, is the session RNG: server-side stochastic
 	// decisions must draw from it so that its position can be captured
 	// in checkpoints and resumed sessions replay identically. The
@@ -148,6 +161,12 @@ type Server struct {
 	evictedBytes int64 // uplink bytes from already-closed conns (under mu)
 	prevBytes    int64 // cumulative uplink total at end of previous round
 
+	evictedSent int64 // downlink bytes to already-closed conns (under mu)
+	prevSent    int64 // cumulative downlink total at end of previous round
+
+	seen map[int]bool // client ids that have registered at least once (under mu)
+	met  serverMetrics
+
 	quarantines []QuarantineRecord // touched only by the round loop goroutine
 }
 
@@ -202,6 +221,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		listener: ln,
 		roster:   map[int]*clientConn{},
 		pending:  map[int]*clientConn{},
+		seen:     map[int]bool{},
+		met:      newServerMetrics(cfg.Metrics),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -286,9 +307,20 @@ func (s *Server) Run() (*ServerResult, error) {
 		}
 		res.Quarantines = s.quarantines
 		if s.cfg.CheckpointDir != "" {
-			if err := s.saveCheckpoint(round, global, globalDelta, planner, res); err != nil {
+			ckptStart := time.Now()
+			size, err := s.saveCheckpoint(round, global, globalDelta, planner, res)
+			if err != nil {
 				s.cfg.Logf("server: checkpoint after round %d failed (continuing): %v", round+1, err)
+			} else {
+				sec := time.Since(ckptStart).Seconds()
+				s.met.ckptSec.Observe(sec)
+				s.met.ckptBytes.Set(float64(size))
+				s.cfg.Events.Emit(obs.Event{Type: "checkpoint", Round: round, Client: -1, Bytes: size, Seconds: sec})
 			}
+		}
+		// Round boundary: make the round's event records crash-durable.
+		if err := s.cfg.Events.Flush(); err != nil {
+			s.cfg.Logf("server: event log flush after round %d failed: %v", round+1, err)
 		}
 		if s.cfg.OnRound != nil {
 			s.cfg.OnRound(rec)
@@ -374,6 +406,11 @@ func (s *Server) handshake(raw net.Conn) {
 		return
 	}
 	s.pending[hello.ClientID] = &clientConn{id: hello.ClientID, conn: conn, samples: hello.NumSamples}
+	s.met.registrations.Inc()
+	if s.seen[hello.ClientID] {
+		s.met.reconnects.Inc()
+	}
+	s.seen[hello.ClientID] = true
 	next := s.nextRound
 	s.cfg.Logf("server: client %d registered (%d samples), joins at round %d", hello.ClientID, hello.NumSamples, next+1)
 	s.cond.Broadcast()
@@ -448,9 +485,12 @@ func (s *Server) evict(c *clientConn, round int, err error) {
 	if _, ok := s.roster[c.id]; ok {
 		delete(s.roster, c.id)
 		s.evictedBytes += c.conn.BytesReceived()
+		s.evictedSent += c.conn.BytesSent()
 	}
 	s.mu.Unlock()
 	c.conn.Close()
+	s.met.evictions.Inc()
+	s.cfg.Events.Emit(obs.Event{Type: "evict", Round: round, Client: c.id, Reason: err.Error()})
 	s.cfg.Logf("server: round %d: evicting client %d: %v", round+1, c.id, err)
 }
 
@@ -460,6 +500,16 @@ func (s *Server) totalBytesReceived() int64 {
 	total := s.evictedBytes
 	for _, c := range s.roster {
 		total += c.conn.BytesReceived()
+	}
+	return total
+}
+
+func (s *Server) totalBytesSent() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.evictedSent
+	for _, c := range s.roster {
+		total += c.conn.BytesSent()
 	}
 	return total
 }
@@ -481,6 +531,7 @@ func (s *Server) recvTimed(c *clientConn) (*Envelope, error) {
 func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 	global, globalDelta []float64) RoundRecord {
 	rec := RoundRecord{Round: round, TestAcc: nan()}
+	roundStart := time.Now()
 	roster := s.snapshotRoster()
 	rec.Clients = len(roster)
 	totalSamples := 0
@@ -528,10 +579,19 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 		scores[r.c.id] = r.score
 		alive = append(alive, r.c)
 	}
+	s.met.scoreSec.Observe(time.Since(roundStart).Seconds())
 
 	// Phase 3+4: selection, then concurrent notify + update collection.
 	plan := sel.plan(round, scores)
 	rec.Selected = len(plan)
+	for _, score := range scores {
+		s.met.scores.Observe(score)
+	}
+	for _, ratio := range plan {
+		s.met.ratios.Observe(ratio)
+	}
+	s.cfg.Events.Emit(obs.Event{Type: "selection", Round: round, Client: -1, Scores: scores, Ratios: plan})
+	updatePhaseStart := time.Now()
 	type updRes struct {
 		c   *clientConn
 		upd *compress.Sparse
@@ -580,10 +640,14 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 		if r.upd != nil {
 			received = append(received, roundUpdate{clientID: r.c.id, samples: r.c.samples, upd: r.upd})
 			connByID[r.c.id] = r.c
+			s.cfg.Events.Emit(obs.Event{Type: "update", Round: round, Client: r.c.id, Bytes: int64(r.upd.WireBytes())})
 		}
 	}
+	s.met.updateSec.Observe(time.Since(updatePhaseStart).Seconds())
 	kept, quarantined := screenUpdates(round, len(global), s.cfg.MaxUpdateNorm, received, s.cfg.Logf)
 	for _, q := range quarantined {
+		s.met.quarantines.Inc()
+		s.cfg.Events.Emit(obs.Event{Type: "quarantine", Round: round, Client: q.ClientID, Reason: q.Reason, Norm: q.Norm})
 		s.evict(connByID[q.ClientID], round, fmt.Errorf("quarantined update: %s", q.Reason))
 		rec.Evicted++
 		rec.Quarantined++
@@ -593,6 +657,7 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 	// Aggregate the survivors (FedAvg weighted by sample counts of the
 	// round's roster; the 1/weightSum renormalisation keeps the average
 	// well-formed when some selected updates never arrive).
+	aggStart := time.Now()
 	agg := make([]float64, len(global))
 	weightSum := 0.0
 	for _, u := range kept {
@@ -606,6 +671,8 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 		tensor.Axpy(1/weightSum, agg, global)
 	}
 	tensor.SubVec(globalDelta, global, before)
+	s.cfg.Events.Emit(obs.Event{Type: "aggregate", Round: round, Client: -1,
+		Received: rec.Received, Seconds: time.Since(aggStart).Seconds()})
 
 	// Phase 5: evaluate.
 	if s.cfg.Test != nil && (round+1)%s.cfg.EvalEvery == 0 {
@@ -618,6 +685,23 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 	total := s.totalBytesReceived()
 	rec.Bytes = total - s.prevBytes
 	s.prevBytes = total
+
+	sent := s.totalBytesSent()
+	s.met.rounds.Inc()
+	s.met.bytesUp.Add(rec.Bytes)
+	s.met.bytesDown.Add(sent - s.prevSent)
+	s.prevSent = sent
+	s.met.roundSec.Observe(time.Since(roundStart).Seconds())
+	s.met.clients.Set(float64(rec.Clients))
+	s.met.selected.Set(float64(rec.Selected))
+	s.met.received.Set(float64(rec.Received))
+	if !math.IsNaN(rec.TestAcc) {
+		s.met.accuracy.Set(rec.TestAcc)
+	}
+	s.cfg.Events.Emit(obs.Event{Type: "round", Round: round, Client: -1,
+		Clients: rec.Clients, Selected: rec.Selected, Received: rec.Received,
+		Evicted: rec.Evicted, Quarantined: rec.Quarantined, Bytes: rec.Bytes,
+		Acc: obs.AccValue(rec.TestAcc)})
 	return rec
 }
 
@@ -667,12 +751,12 @@ func (s *Server) checkpointPath() string {
 }
 
 func (s *Server) saveCheckpoint(round int, global, globalDelta []float64,
-	planner *serverSelector, res *ServerResult) error {
+	planner *serverSelector, res *ServerResult) (int64, error) {
 	lastSel := make(map[int]int, len(planner.lastSel))
 	for id, r := range planner.lastSel {
 		lastSel[id] = r
 	}
-	return checkpoint.Save(s.checkpointPath(), &sessionSnapshot{
+	return checkpoint.SaveSized(s.checkpointPath(), &sessionSnapshot{
 		CompletedRound:  round,
 		ParamDim:        len(global),
 		NumClients:      s.cfg.NumClients,
@@ -796,6 +880,18 @@ func (s *serverSelector) plan(round int, scores map[int]float64) map[int]float64
 		id := ids[sc.Client]
 		out[id] = s.cfg.Compression.RatioForRank(rank, len(selected), round)
 		s.lastSel[id] = round
+	}
+	// Fallback: with no fairness reservation (ExploreFrac 0) and every
+	// score below τ, Algorithm 1 selects nobody. A zero-participant round
+	// would burn a round of the budget without moving the model (and any
+	// engine dividing by the participant weight sum would see 0/0), so
+	// fall back to warm-up-style full participation at the warm-up ratio
+	// — the same defined behaviour the session starts with.
+	if len(out) == 0 {
+		for id := range scores {
+			out[id] = s.cfg.Compression.WarmupRatio
+			s.lastSel[id] = round
+		}
 	}
 	return out
 }

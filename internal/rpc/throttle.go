@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"io"
+	"math"
 	"sync"
 	"time"
 )
@@ -27,34 +28,49 @@ func NewTokenBucket(rate float64) *TokenBucket {
 }
 
 // Take blocks until n bytes worth of tokens are available.
+//
+// Writes larger than the bucket capacity (one second's worth of tokens)
+// are split into capacity-sized chunks so concurrent takers interleave
+// instead of one writer monopolising the link for many seconds. The
+// chunk size is computed in float math: the previous int truncation made
+// fractional rates below 1 B/s skip the cap entirely, and a chunk larger
+// than capacity can never be satisfied by a bucket whose refill tops out
+// at capacity — Take would spin forever (sleep, refill, still short).
+// Each iteration still moves at least one byte so sub-1 B/s rates make
+// progress rather than looping on zero-byte chunks.
 func (tb *TokenBucket) Take(n int) {
-	for n > 0 {
-		chunk := n
-		if max := int(tb.rate); chunk > max && max > 0 {
-			chunk = max
+	remaining := float64(n)
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > tb.rate {
+			chunk = tb.rate
+		}
+		if chunk < 1 {
+			chunk = math.Min(1, remaining)
 		}
 		tb.takeChunk(chunk)
-		n -= chunk
+		remaining -= chunk
 	}
 }
 
-func (tb *TokenBucket) takeChunk(n int) {
-	for {
-		tb.mu.Lock()
-		now := time.Now()
-		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
-		tb.last = now
-		if tb.tokens > tb.rate {
-			tb.tokens = tb.rate
-		}
-		if tb.tokens >= float64(n) {
-			tb.tokens -= float64(n)
-			tb.mu.Unlock()
-			return
-		}
-		need := (float64(n) - tb.tokens) / tb.rate
-		tb.mu.Unlock()
-		tb.sleep(time.Duration(need * float64(time.Second)))
+// takeChunk deducts n tokens, letting the balance go negative, and
+// sleeps off the deficit. Running a deficit instead of waiting for the
+// balance to reach n keeps the bucket livelock-free for any chunk size:
+// the sleep duration depends only on how far below zero the balance is,
+// never on reaching a threshold the capacity cap might make unreachable.
+func (tb *TokenBucket) takeChunk(n float64) {
+	tb.mu.Lock()
+	now := time.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.rate {
+		tb.tokens = tb.rate
+	}
+	tb.tokens -= n
+	deficit := -tb.tokens
+	tb.mu.Unlock()
+	if deficit > 0 {
+		tb.sleep(time.Duration(deficit / tb.rate * float64(time.Second)))
 	}
 }
 

@@ -70,6 +70,69 @@ func TestTokenBucketThroughputWithin20Pct(t *testing.T) {
 	}
 }
 
+// TestTokenBucketFractionalRateNoLivelock pins the sub-1 B/s fix. The old
+// chunking computed the cap as int(rate), which truncates to 0 below
+// 1 B/s; the uncapped request then exceeded the bucket capacity and the
+// refill loop could never satisfy it — Take spun forever. The goroutine +
+// timeout shape matters: on the broken code Take never returns.
+func TestTokenBucketFractionalRateNoLivelock(t *testing.T) {
+	tb := NewTokenBucket(0.5) // capacity 0.5 B: every single byte overdraws
+	slept := virtualize(tb)
+	done := make(chan struct{})
+	go func() {
+		tb.Take(3)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Take(3) at 0.5 B/s did not finish: fractional-rate livelock")
+	}
+	// 3 bytes at 0.5 B/s starting from a 0.5-token burst ≈ 5s of waiting.
+	if *slept < 4*time.Second || *slept > 8*time.Second {
+		t.Fatalf("virtual sleep %v, want ≈5s", *slept)
+	}
+}
+
+// TestTokenBucketOverCapacityTake covers single takes far beyond the
+// bucket capacity at both moderate and very large rates: the deficit
+// accounting must finish in n/rate time instead of waiting for a token
+// balance the capacity cap makes unreachable.
+func TestTokenBucketOverCapacityTake(t *testing.T) {
+	for _, tc := range []struct {
+		rate float64
+		n    int
+	}{
+		{rate: 100, n: 500},      // 5x capacity
+		{rate: 1e12, n: 3e12},    // very large rate, 3x capacity
+		{rate: 1e12, n: 1 << 30}, // large burst below capacity: free
+	} {
+		tb := NewTokenBucket(tc.rate)
+		slept := virtualize(tb)
+		done := make(chan struct{})
+		go func() {
+			tb.Take(tc.n)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("Take(%d) at %.0f B/s did not finish", tc.n, tc.rate)
+		}
+		want := (float64(tc.n) - tc.rate) / tc.rate // burst is free
+		got := slept.Seconds()
+		if want <= 0 {
+			if got != 0 {
+				t.Errorf("rate %.0f: burst below capacity slept %v", tc.rate, *slept)
+			}
+			continue
+		}
+		if got < 0.9*want || got > 1.5*want {
+			t.Errorf("rate %.0f: slept %.2fs for %d bytes, want ≈%.2fs", tc.rate, got, tc.n, want)
+		}
+	}
+}
+
 func TestTokenBucketGuards(t *testing.T) {
 	for _, rate := range []float64{0, -5} {
 		rate := rate

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSummarizeSingleElement: with one sample every location statistic
+// collapses onto it and the n-1 spread estimate is defined as zero.
+func TestSummarizeSingleElement(t *testing.T) {
+	s := Summarize([]float64{7.5})
+	if s.N != 1 || s.Mean != 7.5 || s.Min != 7.5 || s.Max != 7.5 || s.Median != 7.5 {
+		t.Fatalf("single-element summary: %+v", s)
+	}
+	if s.Std != 0 {
+		t.Fatalf("single-element std = %v, want 0", s.Std)
+	}
+}
+
+// TestSummarizeAllEqual: a constant sample has zero spread at every n
+// (the n-1 divisor must not introduce rounding noise) and the confidence
+// interval is exactly zero, not a small positive artifact.
+func TestSummarizeAllEqual(t *testing.T) {
+	for _, n := range []int{2, 3, 8} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = -2.25
+		}
+		s := Summarize(xs)
+		if s.Mean != -2.25 || s.Min != -2.25 || s.Max != -2.25 || s.Median != -2.25 {
+			t.Fatalf("n=%d: all-equal summary %+v", n, s)
+		}
+		if s.Std != 0 {
+			t.Fatalf("n=%d: all-equal std = %v, want 0", n, s.Std)
+		}
+		if ci := CI95(xs); ci != 0 {
+			t.Fatalf("n=%d: all-equal CI95 = %v, want 0", n, ci)
+		}
+	}
+}
+
+// TestSummarizeMedianParity pins both parities with unsorted input: the
+// median must come from a sorted copy, not the caller's ordering.
+func TestSummarizeMedianParity(t *testing.T) {
+	if m := Summarize([]float64{9, 1, 5}).Median; m != 5 {
+		t.Fatalf("odd median = %v, want 5", m)
+	}
+	if m := Summarize([]float64{9, 1, 5, 3}).Median; m != 4 {
+		t.Fatalf("even median = %v, want 4", m)
+	}
+}
+
+// TestSummarizeDoesNotMutateInput: Summarize sorts internally; the
+// caller's slice order must survive.
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input reordered: %v", xs)
+	}
+}
+
+// TestCI95Empty: fewer than two samples give no spread estimate.
+func TestCI95Empty(t *testing.T) {
+	if ci := CI95(nil); ci != 0 {
+		t.Fatalf("CI95(nil) = %v, want 0", ci)
+	}
+	if ci := CI95([]float64{}); ci != 0 {
+		t.Fatalf("CI95(empty) = %v, want 0", ci)
+	}
+}
+
+// TestCI95ShrinksWithN: quadrupling the sample size of the same
+// distribution should roughly halve the interval (1/√n scaling).
+func TestCI95ShrinksWithN(t *testing.T) {
+	small := []float64{1, 2, 1, 2}
+	big := make([]float64, 0, 16)
+	for i := 0; i < 4; i++ {
+		big = append(big, small...)
+	}
+	ciSmall, ciBig := CI95(small), CI95(big)
+	if ciBig >= ciSmall {
+		t.Fatalf("CI95 did not shrink: n=4 %v vs n=16 %v", ciSmall, ciBig)
+	}
+	if ratio := ciSmall / ciBig; math.Abs(ratio-2) > 0.25 {
+		t.Fatalf("CI95 ratio %v, want ≈2 for 4x the sample", ratio)
+	}
+}
+
+// TestArgMaxEdges completes the ArgMax contract: single element, all
+// equal (first index), and max at the boundary positions.
+func TestArgMaxEdges(t *testing.T) {
+	if i := ArgMax([]float64{42}); i != 0 {
+		t.Fatalf("single-element ArgMax = %d", i)
+	}
+	if i := ArgMax([]float64{3, 3, 3}); i != 0 {
+		t.Fatalf("all-equal ArgMax = %d, want first index", i)
+	}
+	if i := ArgMax([]float64{9, 1, 2}); i != 0 {
+		t.Fatalf("max-at-front ArgMax = %d", i)
+	}
+	if i := ArgMax([]float64{1, 2, 9}); i != 2 {
+		t.Fatalf("max-at-back ArgMax = %d", i)
+	}
+	if i := ArgMax([]float64{-5, -1, -3}); i != 1 {
+		t.Fatalf("all-negative ArgMax = %d", i)
+	}
+}

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test race chaos fuzz bench bench-gemm bench-train
+.PHONY: check lint vet build test race chaos fuzz fleet bench bench-gemm bench-train
 
 check: lint build test race
 
@@ -29,10 +29,11 @@ test:
 
 # The packages that spawn goroutines (parallel GEMM, parallel evaluation,
 # parallel client rounds, the concurrent RPC round engine and its chaos
-# suite) plus the crash-safety layer and the shared-registry observability
-# layer under the race detector.
+# suite, the sharded streaming aggregation tree) plus the crash-safety
+# layer and the shared-registry observability layer under the race
+# detector.
 race:
-	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/... ./internal/obs/...
+	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/... ./internal/obs/... ./internal/shard/...
 
 # The full-session fault-injection suite (stragglers, partitions, drops,
 # kill-and-restart resume) under the race detector.
@@ -40,11 +41,21 @@ chaos:
 	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/rpc/
 
 # Short fuzzing smoke over the attack surfaces: corrupted/truncated gob
-# streams and checkpoint snapshots must error, never panic. CI-friendly
-# 10s budgets; raise -fuzztime locally for a deeper run.
+# streams and checkpoint snapshots must error, never panic, and the
+# sharded streaming aggregator must agree with the reference fold under
+# adversarial updates. CI-friendly 10s budgets; raise -fuzztime locally
+# for a deeper run.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/rpc/
 	$(GO) test -run xxx -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/checkpoint/
+	$(GO) test -run xxx -fuzz FuzzShardMerge -fuzztime 10s ./internal/shard/
+
+# Fleet-scale aggregation smoke: a small streaming-vs-buffered pair from
+# the load harness. BENCH_5.json records the full 1k/10k-client runs and
+# the sublinear-memory comparison.
+fleet:
+	$(GO) run ./cmd/flfleet -clients 500 -shards 4 -rounds 3 -dim 5000 -nnz 250
+	$(GO) run ./cmd/flfleet -clients 500 -shards 4 -rounds 3 -dim 5000 -nnz 250 -mode buffered
 
 # Hot-path microbenchmarks with allocation stats; see DESIGN.md §GEMM for
 # how these map onto BENCH_1.json.

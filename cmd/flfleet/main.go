@@ -1,0 +1,224 @@
+// Command flfleet is the fleet-scale load harness for the streaming
+// aggregation tree (internal/shard). It simulates thousands of clients
+// producing sparse updates every round — no sockets, no training — and
+// measures pure aggregation throughput and memory for the two server
+// strategies:
+//
+//	-mode stream    fold each update into its shard partial on arrival
+//	                (O(shards × dim) aggregation state, constant in the
+//	                fleet size)
+//	-mode buffered  buffer the whole round, then screen + fold — the
+//	                pre-shard server path (O(clients × nnz) live buffer)
+//
+// Peak RSS (VmHWM) is monotonic per process, so run one mode per
+// invocation when comparing memory; BENCH_5.json collects one JSON
+// object (-json) per configuration.
+//
+// Example:
+//
+//	flfleet -clients 10000 -shards 8 -rounds 5 -dim 20000 -nnz 1000 -json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"adafl/internal/compress"
+	"adafl/internal/shard"
+	"adafl/internal/stats"
+	"adafl/internal/tensor"
+)
+
+// result is the JSON record one invocation emits; BENCH_5.json is a
+// collection of these.
+type result struct {
+	Mode    string `json:"mode"`
+	Clients int    `json:"clients"`
+	Shards  int    `json:"shards"`
+	Rounds  int    `json:"rounds"`
+	Dim     int    `json:"dim"`
+	Nnz     int    `json:"nnz"`
+
+	WallSeconds    float64 `json:"wall_seconds"`
+	RoundsPerSec   float64 `json:"rounds_per_sec"`
+	UpdatesPerSec  float64 `json:"updates_per_sec"`
+	MBFoldedPerSec float64 `json:"mb_folded_per_sec"`
+	PeakHeapInuse  uint64  `json:"peak_heap_inuse_bytes"`
+	VmHWMKB        int     `json:"vm_hwm_kb"`
+	GlobalChecksum float64 `json:"global_checksum"`
+}
+
+func main() {
+	clients := flag.Int("clients", 1000, "simulated fleet size")
+	shards := flag.Int("shards", 8, "aggregation shards (stream mode)")
+	rounds := flag.Int("rounds", 5, "aggregation rounds to drive")
+	dim := flag.Int("dim", 20000, "model dimension")
+	nnz := flag.Int("nnz", 1000, "non-zeros per client update")
+	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+	mode := flag.String("mode", "stream", "aggregation strategy: stream|buffered")
+	seed := flag.Uint64("seed", 1, "update-generation seed")
+	asJSON := flag.Bool("json", false, "emit the result as one JSON object on stdout")
+	flag.Parse()
+
+	if *mode != "stream" && *mode != "buffered" {
+		log.Fatalf("flfleet: unknown -mode %q (want stream or buffered)", *mode)
+	}
+	if *clients < 1 || *rounds < 1 || *dim < 1 || *nnz < 1 || *nnz > *dim {
+		log.Fatalf("flfleet: need clients, rounds, dim >= 1 and 1 <= nnz <= dim")
+	}
+
+	res := result{
+		Mode: *mode, Clients: *clients, Shards: *shards,
+		Rounds: *rounds, Dim: *dim, Nnz: *nnz,
+	}
+	global := make([]float64, *dim)
+	var peakHeap uint64
+	sampleHeap := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapInuse > peakHeap {
+			peakHeap = ms.HeapInuse
+		}
+	}
+
+	start := time.Now()
+	switch *mode {
+	case "stream":
+		tree := shard.NewTree(shard.Config{
+			Shards: *shards, Dim: *dim, QueueDepth: *queue,
+		})
+		defer tree.Close()
+		for r := 0; r < *rounds; r++ {
+			produce(*clients, *seed, r, *dim, *nnz, func(id int, u *compress.Sparse) {
+				tree.Ingest(r, shard.Update{Client: id, Weight: 1.0 / float64(*clients), Delta: u})
+			})
+			sampleHeap()
+			part, _ := tree.Finish()
+			apply(global, part)
+		}
+	case "buffered":
+		for r := 0; r < *rounds; r++ {
+			buf := make([]shard.Item, *clients)
+			produce(*clients, *seed, r, *dim, *nnz, func(id int, u *compress.Sparse) {
+				buf[id] = shard.Item{Client: id, Tag: id, Upd: u}
+			})
+			sampleHeap() // the whole round is live here — the buffered peak
+			kept, _ := shard.Screen(r, *dim, 0, buf, nil)
+			part := shard.NewPartial(*dim)
+			for _, it := range kept {
+				part.Fold(shard.Update{
+					Client: it.Client, Weight: 1.0 / float64(*clients), Delta: it.Upd,
+				}, false)
+			}
+			apply(global, part)
+		}
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	sampleHeap()
+
+	updates := float64(*clients) * float64(*rounds)
+	// Wire-payload bytes per sparse update: int32 index + float64 value
+	// per non-zero.
+	bytesPerUpdate := float64(12 * *nnz)
+	res.RoundsPerSec = float64(*rounds) / res.WallSeconds
+	res.UpdatesPerSec = updates / res.WallSeconds
+	res.MBFoldedPerSec = updates * bytesPerUpdate / res.WallSeconds / 1e6
+	res.PeakHeapInuse = peakHeap
+	res.VmHWMKB = readVmHWM()
+	for _, v := range global {
+		res.GlobalChecksum += v
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("flfleet %s: %d clients x %d rounds (dim=%d nnz=%d shards=%d)\n",
+		res.Mode, res.Clients, res.Rounds, res.Dim, res.Nnz, res.Shards)
+	fmt.Printf("  %.2f rounds/s  %.0f updates/s  %.1f MB folded/s\n",
+		res.RoundsPerSec, res.UpdatesPerSec, res.MBFoldedPerSec)
+	fmt.Printf("  peak heap in use %.1f MB  VmHWM %d KB  checksum %.6g\n",
+		float64(res.PeakHeapInuse)/1e6, res.VmHWMKB, res.GlobalChecksum)
+}
+
+// produce generates one round of synthetic client updates across
+// GOMAXPROCS producer goroutines and hands each to sink. Every update is
+// a fresh allocation, as it would be arriving off the wire; generation
+// is deterministic in (seed, round, client).
+func produce(clients int, seed uint64, round, dim, nnz int, sink func(id int, u *compress.Sparse)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > clients {
+		workers = clients
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := clients * w / workers
+		hi := clients * (w + 1) / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for id := lo; id < hi; id++ {
+				rng := stats.NewRNG(seed ^ uint64(round)*0x9e3779b97f4a7c15 ^ uint64(id)*0xbf58476d1ce4e5b9)
+				u := &compress.Sparse{
+					Dim:     dim,
+					Indices: make([]int32, nnz),
+					Values:  make([]float64, nnz),
+				}
+				for i := 0; i < nnz; i++ {
+					u.Indices[i] = int32(rng.Intn(dim))
+					u.Values[i] = rng.NormScaled(0, 0.01)
+				}
+				sink(id, u)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// apply folds the round partial into the running global, mirroring the
+// server's FedAvg renormalisation.
+func apply(global []float64, p *shard.Partial) {
+	if p == nil || p.WeightSum == 0 {
+		return
+	}
+	tensor.Axpy(1/p.WeightSum, p.Sum, global)
+}
+
+// readVmHWM reports the process's peak resident set (KB) from
+// /proc/self/status; 0 when unavailable (non-Linux).
+func readVmHWM() int {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
+}

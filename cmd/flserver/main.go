@@ -42,6 +42,7 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for the atomic per-round session snapshot (empty disables checkpointing)")
 	resume := flag.Bool("resume", false, "restore the snapshot in -checkpoint-dir and continue from the round after the crash (fresh start if none exists)")
 	maxNorm := flag.Float64("max-update-norm", 10, "quarantine updates whose L2 norm exceeds this multiple of the round median (0 disables the gate)")
+	shards := flag.Int("shards", 0, "stream arriving updates through this many aggregation shards (constant server memory; 0 = buffered single-shot aggregation)")
 	metricsAddr := flag.String("metrics-addr", "", "listen address for the debug HTTP server (/metrics, /healthz, /debug/pprof); empty disables it")
 	eventLog := flag.String("event-log", "", "append one JSON line per round event (selection, update, evict, quarantine, aggregate, round, checkpoint) to this file; empty disables it")
 	faults := rpc.RegisterFaultFlags(flag.CommandLine)
@@ -97,7 +98,8 @@ func main() {
 		Cfg: cfg, NewModel: newModel, Test: test, EvalEvery: 1,
 		StragglerTimeout: *straggler, MinClients: *minClients,
 		CheckpointDir: *ckptDir, Resume: *resume, MaxUpdateNorm: *maxNorm,
-		Fault: faults.Config(), Metrics: metrics, Events: events,
+		Shards: *shards,
+		Fault:  faults.Config(), Metrics: metrics, Events: events,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // BytesPerValue is the wire size of one gradient value (float32).
@@ -80,12 +81,24 @@ func (s *Sparse) Dense() []float64 {
 // and mismatched arrays silently corrupt the accumulator.
 var ErrMalformed = errors.New("compress: malformed sparse message")
 
+// validateCalls counts Validate invocations so tests can pin the
+// "validated exactly once per update" contract of the aggregation paths.
+// One relaxed atomic add per message is noise next to the O(nnz) bounds
+// scan Validate performs anyway.
+var validateCalls atomic.Int64
+
+// ValidateCalls returns the process-wide number of Validate invocations.
+// It is a diagnostic hook for regression tests; production code should
+// not branch on it.
+func ValidateCalls() int64 { return validateCalls.Load() }
+
 // Validate checks s against the receiver's model dimension: the declared
 // Dim must match, Indices and Values must pair up, the coordinate count
 // cannot exceed the dimension, and every index must lie in [0, dim). A
 // nil or failing message must be rejected (quarantined) before
 // aggregation; Validate never mutates s.
 func (s *Sparse) Validate(dim int) error {
+	validateCalls.Add(1)
 	if s == nil {
 		return fmt.Errorf("%w: nil message", ErrMalformed)
 	}

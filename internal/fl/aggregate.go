@@ -20,19 +20,26 @@ type Aggregator interface {
 // client must not panic the server or silently corrupt the global
 // model. Dropped updates also leave the weight normalisation, exactly
 // like an evicted straggler's would.
+//
+// Each update is validated exactly once: the scan stops at the first
+// failure, the already-vetted prefix is kept as-is, and only the
+// remainder is validated while filtering. Validation walks every index
+// of a message, so double-validating the common all-valid case would
+// double the screening cost of the aggregation hot path.
 func validUpdates(dim int, updates []Update) []Update {
-	ok := true
-	for _, u := range updates {
+	bad := -1
+	for i, u := range updates {
 		if u.Delta.Validate(dim) != nil {
-			ok = false
+			bad = i
 			break
 		}
 	}
-	if ok {
+	if bad < 0 {
 		return updates
 	}
-	kept := make([]Update, 0, len(updates))
-	for _, u := range updates {
+	kept := make([]Update, 0, len(updates)-1)
+	kept = append(kept, updates[:bad]...)
+	for _, u := range updates[bad+1:] {
 		if u.Delta.Validate(dim) == nil {
 			kept = append(kept, u)
 		}
@@ -47,22 +54,26 @@ type FedAvg struct{}
 // Name implements Aggregator.
 func (FedAvg) Name() string { return "fedavg" }
 
-// Apply implements Aggregator.
+// Apply implements Aggregator. The arithmetic is the two-phase
+// sum-then-scale form — accumulate Σ w_u·Δ_u into a scratch vector in
+// update order, then renormalise by Σ w_u in one Axpy — which is exactly
+// the fold a single shard performs (internal/shard.Partial), so the
+// streaming path at Shards=1 reproduces this bit for bit.
 func (FedAvg) Apply(global []float64, updates []Update) {
 	updates = validUpdates(len(global), updates)
 	if len(updates) == 0 {
 		return
 	}
+	agg := make([]float64, len(global))
 	totalW := 0.0
 	for _, u := range updates {
+		u.Delta.AddTo(agg, u.Weight)
 		totalW += u.Weight
 	}
 	if totalW == 0 {
 		return
 	}
-	for _, u := range updates {
-		u.Delta.AddTo(global, u.Weight/totalW)
-	}
+	tensor.Axpy(1/totalW, agg, global)
 }
 
 // FedAdam applies server-side Adam (Reddi et al.) to the averaged client
@@ -79,27 +90,28 @@ func NewFedAdam(lr float64) *FedAdam {
 // Name implements Aggregator.
 func (*FedAdam) Name() string { return "fedadam" }
 
-// Apply implements Aggregator.
+// Apply implements Aggregator. Two-phase like FedAvg: the weighted sum
+// accumulates first, the 1/Σw renormalisation folds into the negation,
+// so a shard partial drives the identical Adam step (see ApplyPartial).
 func (f *FedAdam) Apply(global []float64, updates []Update) {
 	updates = validUpdates(len(global), updates)
 	if len(updates) == 0 {
 		return
 	}
+	avg := make([]float64, len(global))
 	totalW := 0.0
 	for _, u := range updates {
+		u.Delta.AddTo(avg, u.Weight)
 		totalW += u.Weight
 	}
 	if totalW == 0 {
 		return
 	}
-	avg := make([]float64, len(global))
-	for _, u := range updates {
-		u.Delta.AddTo(avg, u.Weight/totalW)
-	}
 	// Pseudo-gradient is the negated average delta; DirectionVec returns
 	// the descent step −lr·m̂/(√v̂+ε), which then moves along +Δ.
+	inv := 1 / totalW
 	for i := range avg {
-		avg[i] = -avg[i]
+		avg[i] = -avg[i] * inv
 	}
 	step := f.adam.DirectionVec(avg)
 	tensor.Axpy(1, step, global)
@@ -136,24 +148,36 @@ func (s *Scaffold) C(dim int) []float64 {
 	return s.c
 }
 
-// Apply implements Aggregator.
+// Apply implements Aggregator. Two-phase and unweighted: deltas and
+// control deltas both accumulate with scale 1 in update order, then one
+// Axpy each applies the η_g/|S| and |S|/N·(1/|S|) scalings — matching
+// the unweighted shard fold (see ApplyPartial).
 func (s *Scaffold) Apply(global []float64, updates []Update) {
 	updates = validUpdates(len(global), updates)
 	if len(updates) == 0 {
 		return
 	}
-	inv := 1 / float64(len(updates))
+	dim := len(global)
+	agg := make([]float64, dim)
+	var ctrlSum []float64
 	for _, u := range updates {
-		u.Delta.AddTo(global, s.GlobalLR*inv)
-	}
-	// c ← c + |S|/N · mean(Δc_i)
-	cc := s.C(len(global))
-	scale := float64(len(updates)) / float64(s.NumClients) * inv
-	for _, u := range updates {
-		if u.CtrlDelta == nil {
-			continue
+		u.Delta.AddTo(agg, 1)
+		if u.CtrlDelta != nil {
+			if ctrlSum == nil {
+				ctrlSum = make([]float64, dim)
+			}
+			for i, v := range u.CtrlDelta {
+				ctrlSum[i] += v
+			}
 		}
-		tensor.Axpy(scale, u.CtrlDelta, cc)
+	}
+	inv := 1 / float64(len(updates))
+	tensor.Axpy(s.GlobalLR*inv, agg, global)
+	// c ← c + |S|/N · mean(Δc_i)
+	if ctrlSum != nil {
+		cc := s.C(dim)
+		scale := float64(len(updates)) / float64(s.NumClients) * inv
+		tensor.Axpy(scale, ctrlSum, cc)
 	}
 }
 

@@ -1,0 +1,141 @@
+package fl
+
+import (
+	"adafl/internal/shard"
+	"adafl/internal/tensor"
+)
+
+// PartialApplier is the streaming-aggregation counterpart of
+// Aggregator.Apply: instead of a buffered update slice it consumes the
+// merged root partial of a shard tree (internal/shard) — the weighted
+// delta sum plus the scalars needed to renormalise exactly. An
+// aggregator that implements it can run behind the sharded ingest path
+// with constant server memory; the contract is that for a single shard
+// and matching fold order ApplyPartial moves the global model bit for
+// bit as Apply would (the aggregators' Apply methods are written in the
+// identical two-phase sum-then-scale form to make that hold).
+type PartialApplier interface {
+	Aggregator
+	// ApplyPartial applies the merged partial to the global model.
+	ApplyPartial(global []float64, p *shard.Partial)
+	// PartialUnweighted reports whether updates must fold with scale 1
+	// (SCAFFOLD) instead of their data weight.
+	PartialUnweighted() bool
+}
+
+// ApplyPartial implements PartialApplier: w ← w + Sum/ΣW, the second
+// phase of the two-phase FedAvg in Apply.
+func (FedAvg) ApplyPartial(global []float64, p *shard.Partial) {
+	if p == nil || p.Count == 0 || p.WeightSum == 0 {
+		return
+	}
+	tensor.Axpy(1/p.WeightSum, p.Sum, global)
+}
+
+// PartialUnweighted implements PartialApplier.
+func (FedAvg) PartialUnweighted() bool { return false }
+
+// ApplyPartial implements PartialApplier: the Adam step over the
+// renormalised negated partial, same expression as Apply's second phase.
+func (f *FedAdam) ApplyPartial(global []float64, p *shard.Partial) {
+	if p == nil || p.Count == 0 || p.WeightSum == 0 {
+		return
+	}
+	avg := make([]float64, len(global))
+	inv := 1 / p.WeightSum
+	for i, v := range p.Sum {
+		avg[i] = -v * inv
+	}
+	step := f.adam.DirectionVec(avg)
+	tensor.Axpy(1, step, global)
+}
+
+// PartialUnweighted implements PartialApplier.
+func (*FedAdam) PartialUnweighted() bool { return false }
+
+// ApplyPartial implements PartialApplier. The partial must come from an
+// unweighted fold (PartialUnweighted → the tree folds with scale 1), so
+// Sum is the plain delta sum and Count is |S|.
+func (s *Scaffold) ApplyPartial(global []float64, p *shard.Partial) {
+	if p == nil || p.Count == 0 {
+		return
+	}
+	inv := 1 / float64(p.Count)
+	tensor.Axpy(s.GlobalLR*inv, p.Sum, global)
+	// c ← c + |S|/N · mean(Δc_i)
+	if p.CtrlSum != nil {
+		cc := s.C(len(global))
+		scale := float64(p.Count) / float64(s.NumClients) * inv
+		tensor.Axpy(scale, p.CtrlSum, cc)
+	}
+}
+
+// PartialUnweighted implements PartialApplier.
+func (*Scaffold) PartialUnweighted() bool { return true }
+
+// ShardedBuffer is FedBuff restructured over the shard tree: arriving
+// deltas stream into shard partials instead of a size-K buffer of dense
+// vectors, so server memory is O(shards·dim) instead of O(K·dim). When
+// K updates have been folded the merged partial is applied with server
+// learning rate Eta and the tree resets. Semantically it is FedBuff
+// with the flush average computed sum-then-scale; the two agree within
+// floating-point reassociation tolerance.
+type ShardedBuffer struct {
+	// K is the flush threshold (FedBuff's buffer size).
+	K int
+	// Eta is the server learning rate applied to the flushed average.
+	Eta float64
+	// Shards is the fan-out of the ingest tree (default 1).
+	Shards int
+
+	tree     *shard.Tree
+	buffered int
+}
+
+// NewShardedBuffer returns a streaming buffered-async server with flush
+// threshold k and fan-out shards.
+func NewShardedBuffer(k int, eta float64, shards int) *ShardedBuffer {
+	if k <= 0 {
+		panic("fl: ShardedBuffer flush threshold must be positive")
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	return &ShardedBuffer{K: k, Eta: eta, Shards: shards}
+}
+
+// Name implements AsyncStrategy.
+func (*ShardedBuffer) Name() string { return "shardedbuffer" }
+
+// Buffered returns how many updates have streamed in since the last
+// flush.
+func (b *ShardedBuffer) Buffered() int { return b.buffered }
+
+// OnReceive implements AsyncStrategy.
+func (b *ShardedBuffer) OnReceive(global, _ []float64, u Update) bool {
+	if b.tree == nil {
+		b.tree = shard.NewTree(shard.Config{
+			Shards: b.Shards, Dim: len(global), Unweighted: true,
+		})
+	}
+	b.tree.Ingest(0, shard.Update{Client: u.Client, Weight: 1, Delta: u.Delta})
+	b.buffered++
+	if b.buffered < b.K {
+		return false
+	}
+	part, _ := b.tree.Finish()
+	b.buffered = 0
+	if part.Count == 0 {
+		return false
+	}
+	tensor.Axpy(b.Eta/float64(part.Count), part.Sum, global)
+	return true
+}
+
+// Close tears down the ingest workers. Safe to call more than once.
+func (b *ShardedBuffer) Close() {
+	if b.tree != nil {
+		b.tree.Close()
+		b.tree = nil
+	}
+}

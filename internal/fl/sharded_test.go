@@ -1,0 +1,223 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"adafl/internal/compress"
+	"adafl/internal/shard"
+)
+
+// TestValidUpdatesValidatesOnce is the regression test for the
+// double-validation bug: validUpdates used to run a full scan and then,
+// on any failure, re-validate every update from scratch — twice the
+// screening cost on the hot path. Each update must be validated exactly
+// once, in both the all-valid and the mixed case.
+func TestValidUpdatesValidatesOnce(t *testing.T) {
+	dim := 4
+	good := func(v float64) Update {
+		return Update{Delta: &compress.Sparse{Dim: dim, Indices: []int32{1}, Values: []float64{v}}, Weight: 1}
+	}
+	bad := Update{Delta: &compress.Sparse{Dim: dim, Indices: []int32{99}, Values: []float64{1}}, Weight: 1}
+
+	allValid := []Update{good(1), good(2), good(3)}
+	before := compress.ValidateCalls()
+	kept := validUpdates(dim, allValid)
+	if got := compress.ValidateCalls() - before; got != int64(len(allValid)) {
+		t.Fatalf("all-valid: %d validations for %d updates", got, len(allValid))
+	}
+	if len(kept) != 3 {
+		t.Fatalf("all-valid: kept %d", len(kept))
+	}
+
+	mixed := []Update{good(1), bad, good(2), bad, good(3)}
+	before = compress.ValidateCalls()
+	kept = validUpdates(dim, mixed)
+	if got := compress.ValidateCalls() - before; got != int64(len(mixed)) {
+		t.Fatalf("mixed: %d validations for %d updates", got, len(mixed))
+	}
+	if len(kept) != 3 || kept[0].Delta.Values[0] != 1 || kept[1].Delta.Values[0] != 2 || kept[2].Delta.Values[0] != 3 {
+		t.Fatalf("mixed: wrong survivors %+v", kept)
+	}
+}
+
+// shardApply routes updates through a fresh tree and applies the merged
+// partial — the streaming counterpart of agg.Apply for tests.
+func shardApply(t *testing.T, pa PartialApplier, global []float64, ups []Update, shards int) {
+	t.Helper()
+	tree := shard.NewTree(shard.Config{
+		Shards: shards, Dim: len(global), Unweighted: pa.PartialUnweighted(),
+	})
+	defer tree.Close()
+	for _, u := range ups {
+		tree.Ingest(0, shard.Update{Client: u.Client, Weight: u.Weight, Delta: u.Delta, Ctrl: u.CtrlDelta})
+	}
+	part, _ := tree.Finish()
+	pa.ApplyPartial(global, part)
+}
+
+// TestApplyPartialBitwiseS1: for every PartialApplier aggregator, a
+// single-shard streaming round moves the global model bit for bit as
+// the buffered Apply — the core numerical-equivalence contract.
+func TestApplyPartialBitwiseS1(t *testing.T) {
+	const dim = 64
+	mkUpdates := func(ctrl bool) []Update {
+		ups := make([]Update, 9)
+		for c := range ups {
+			idx := []int32{int32(c), int32((c * 7) % dim)}
+			vals := []float64{0.1 * float64(c+1), -0.37 * float64(c+2)}
+			ups[c] = Update{
+				Client: c, Weight: 0.05 * float64(c+1),
+				Delta: &compress.Sparse{Dim: dim, Indices: idx, Values: vals},
+			}
+			if ctrl {
+				cv := make([]float64, dim)
+				cv[c] = float64(c) - 3.5
+				ups[c].CtrlDelta = cv
+			}
+		}
+		return ups
+	}
+	cases := []struct {
+		name string
+		mk   func() PartialApplier
+		ctrl bool
+	}{
+		{"fedavg", func() PartialApplier { return FedAvg{} }, false},
+		{"fedadam", func() PartialApplier { return NewFedAdam(0.1) }, false},
+		{"scaffold", func() PartialApplier { return NewScaffold(1, 12) }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ups := mkUpdates(tc.ctrl)
+			buffered := tc.mk()
+			streamed := tc.mk()
+			gBuf := make([]float64, dim)
+			gStr := make([]float64, dim)
+			// Two rounds, so stateful aggregators (Adam moments, SCAFFOLD
+			// c) must agree bitwise too.
+			for round := 0; round < 2; round++ {
+				buffered.Apply(gBuf, ups)
+				shardApply(t, streamed, gStr, ups, 1)
+			}
+			for i := range gBuf {
+				if gBuf[i] != gStr[i] {
+					t.Fatalf("global[%d] differs bitwise: %v vs %v", i, gBuf[i], gStr[i])
+				}
+			}
+			if sc, ok := buffered.(*Scaffold); ok {
+				cBuf, cStr := sc.C(dim), streamed.(*Scaffold).C(dim)
+				for i := range cBuf {
+					if cBuf[i] != cStr[i] {
+						t.Fatalf("control variate[%d] differs: %v vs %v", i, cBuf[i], cStr[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSyncEngineShardedEquivalence runs two identically-seeded
+// federations end to end — one buffered, one sharded — and compares the
+// global models: bitwise at Shards=1, tolerance at Shards=4.
+func TestSyncEngineShardedEquivalence(t *testing.T) {
+	run := func(shards int) []float64 {
+		fed := newTestFederation(6, true, 77)
+		e := NewSyncEngine(fed, FedAvg{}, NewFixedRatePlanner(1, 1, 78), 79)
+		e.EvalEvery = 0
+		e.Shards = shards
+		defer e.Close()
+		e.RunRounds(3)
+		return e.Global
+	}
+	buffered := run(0)
+
+	single := run(1)
+	for i := range buffered {
+		if buffered[i] != single[i] {
+			t.Fatalf("Shards=1 not bitwise: global[%d] %v vs %v", i, single[i], buffered[i])
+		}
+	}
+
+	four := run(4)
+	for i := range buffered {
+		if d := math.Abs(four[i] - buffered[i]); d > 1e-9*(1+math.Abs(buffered[i])) {
+			t.Fatalf("Shards=4 diverged at [%d]: %v vs %v", i, four[i], buffered[i])
+		}
+	}
+}
+
+// TestSyncEngineShardedDeterminism: the sharded engine is reproducible
+// run to run for a fixed shard count.
+func TestSyncEngineShardedDeterminism(t *testing.T) {
+	run := func() []float64 {
+		fed := newTestFederation(5, false, 101)
+		e := NewSyncEngine(fed, NewScaffold(1, 5), NewFixedRatePlanner(1, 1, 102), 103)
+		e.EvalEvery = 0
+		e.Shards = 3
+		defer e.Close()
+		e.RunRounds(2)
+		return e.Global
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sharded run not deterministic at [%d]: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestShardedBufferMatchesFedBuff: the streaming buffered-async server
+// tracks FedBuff within reassociation tolerance, flush for flush.
+func TestShardedBufferMatchesFedBuff(t *testing.T) {
+	const dim, k = 32, 4
+	fb := NewFedBuff(k, 0.5)
+	sb := NewShardedBuffer(k, 0.5, 2)
+	defer sb.Close()
+	gFB := make([]float64, dim)
+	gSB := make([]float64, dim)
+	for c := 0; c < 10; c++ {
+		u := Update{
+			Client: c, Weight: 1,
+			Delta: &compress.Sparse{
+				Dim: dim, Indices: []int32{int32(c % dim), int32((c * 3) % dim)},
+				Values: []float64{float64(c) * 0.2, -0.1},
+			},
+		}
+		aFB := fb.OnReceive(gFB, nil, u)
+		aSB := sb.OnReceive(gSB, nil, u)
+		if aFB != aSB {
+			t.Fatalf("flush timing diverged at update %d: %v vs %v", c, aFB, aSB)
+		}
+	}
+	if fb.Buffered() != sb.Buffered() {
+		t.Fatalf("buffer occupancy %d vs %d", fb.Buffered(), sb.Buffered())
+	}
+	for i := range gFB {
+		if d := math.Abs(gFB[i] - gSB[i]); d > 1e-12*(1+math.Abs(gFB[i])) {
+			t.Fatalf("global[%d]: %v vs %v", i, gSB[i], gFB[i])
+		}
+	}
+}
+
+// TestShardedBufferMalformedNeverFlushes: a quarantined update still
+// counts toward the flush threshold but contributes nothing — and an
+// all-quarantined window must not advance the model version.
+func TestShardedBufferMalformedNeverFlushes(t *testing.T) {
+	const dim, k = 8, 2
+	sb := NewShardedBuffer(k, 1, 1)
+	defer sb.Close()
+	g := make([]float64, dim)
+	bad := Update{Client: 0, Delta: &compress.Sparse{Dim: dim + 1, Indices: nil, Values: nil}}
+	if sb.OnReceive(g, nil, bad) {
+		t.Fatal("advanced below threshold")
+	}
+	if sb.OnReceive(g, nil, bad) {
+		t.Fatal("advanced on an all-quarantined flush window")
+	}
+	for i, v := range g {
+		if v != 0 {
+			t.Fatalf("malformed updates moved the model: g[%d]=%v", i, v)
+		}
+	}
+}

@@ -1,10 +1,8 @@
 package rpc
 
 import (
-	"fmt"
-	"sort"
-
 	"adafl/internal/compress"
+	"adafl/internal/shard"
 )
 
 // QuarantineRecord documents one rejected client update: which client,
@@ -13,12 +11,12 @@ import (
 // aggregated; the offending client is evicted exactly like a straggler,
 // so its weight leaves the FedAvg renormalisation, and may re-register
 // at a later round boundary.
-type QuarantineRecord struct {
-	Round    int
-	ClientID int
-	Reason   string
-	Norm     float64
-}
+//
+// The type is internal/shard's record: the buffered screen below and
+// the streaming shard workers produce interchangeable records, and gob
+// encodes them structurally, so checkpoints from before the shared type
+// restore unchanged.
+type QuarantineRecord = shard.QuarantineRecord
 
 // roundUpdate pairs a received update with its sender's identity and
 // sample count, decoupling the integrity screen from live connections
@@ -30,92 +28,23 @@ type roundUpdate struct {
 }
 
 // screenUpdates validates every received update before aggregation and
-// returns the survivors plus quarantine records for the rejects:
-//
-//  1. Structural validation (compress.Sparse.Validate): declared
-//     dimension, index/value pairing, index bounds. A failure here would
-//     panic the aggregation or silently corrupt the model.
-//  2. Non-finite scrubbing (compress.Sparse.Scrub): NaN/Inf values are
-//     zeroed in place; an update with no finite signal at all is
-//     quarantined rather than applied as a zero update from a client
-//     whose training has diverged.
-//  3. L2-norm outlier gate: with maxNormMult > 0 and at least
-//     normGateMinUpdates survivors, updates whose norm exceeds
-//     maxNormMult times the round's median norm are quarantined. The
-//     median is robust to the outliers being gated; the gate is skipped
-//     when the median is zero (an all-zero round has no scale to judge
-//     against).
-//
-// screenUpdates mutates only the updates' values (scrubbing) and never
-// reorders kept updates.
+// returns the survivors plus quarantine records for the rejects. The
+// checks — structural validation, non-finite scrubbing, the
+// median-relative L2 norm gate — live in internal/shard (shard.Screen),
+// shared verbatim with the streaming shard workers; this wrapper only
+// maps roundUpdates onto shard.Items and back, using Item.Tag to carry
+// each update's slice index. Kept updates are never reordered and only
+// their values are mutated (scrubbing).
 func screenUpdates(round, dim int, maxNormMult float64, ups []roundUpdate,
 	logf func(format string, args ...interface{})) (keep []roundUpdate, quarantined []QuarantineRecord) {
-	keep = make([]roundUpdate, 0, len(ups))
-	for _, u := range ups {
-		if err := u.upd.Validate(dim); err != nil {
-			quarantined = append(quarantined, QuarantineRecord{
-				Round: round, ClientID: u.clientID, Reason: err.Error(),
-			})
-			continue
-		}
-		if n := u.upd.Scrub(); n > 0 {
-			if n == u.upd.NNZ() {
-				quarantined = append(quarantined, QuarantineRecord{
-					Round: round, ClientID: u.clientID,
-					Reason: fmt.Sprintf("update entirely non-finite (%d values)", n),
-				})
-				continue
-			}
-			logf("server: round %d: scrubbed %d non-finite values from client %d",
-				round+1, n, u.clientID)
-		}
-		keep = append(keep, u)
+	items := make([]shard.Item, len(ups))
+	for i, u := range ups {
+		items[i] = shard.Item{Client: u.clientID, Tag: i, Upd: u.upd}
 	}
-
-	if maxNormMult <= 0 || len(keep) < normGateMinUpdates {
-		return keep, quarantined
+	keptItems, quarantined := shard.Screen(round, dim, maxNormMult, items, logf)
+	keep = make([]roundUpdate, len(keptItems))
+	for i, it := range keptItems {
+		keep[i] = ups[it.Tag]
 	}
-	norms := make([]float64, len(keep))
-	for i, u := range keep {
-		norms[i] = u.upd.Norm2()
-	}
-	med := median(norms)
-	if med <= 0 {
-		return keep, quarantined
-	}
-	limit := maxNormMult * med
-	gated := keep[:0]
-	for i, u := range keep {
-		if norms[i] > limit {
-			quarantined = append(quarantined, QuarantineRecord{
-				Round: round, ClientID: u.clientID, Norm: norms[i],
-				Reason: fmt.Sprintf("L2 norm %.4g exceeds %.4g (%.3g x round median %.4g)",
-					norms[i], limit, maxNormMult, med),
-			})
-			continue
-		}
-		gated = append(gated, u)
-	}
-	return gated, quarantined
-}
-
-// normGateMinUpdates is the minimum number of structurally valid
-// updates before the norm gate engages: with fewer, the median is
-// dominated by the very update under judgment and the gate would be
-// deciding against itself.
-const normGateMinUpdates = 3
-
-// median returns the median of xs (mean of the middle pair for even
-// counts). xs is copied, not mutated.
-func median(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	m := len(s) / 2
-	if len(s)%2 == 1 {
-		return s[m]
-	}
-	return (s[m-1] + s[m]) / 2
+	return keep, quarantined
 }

@@ -17,6 +17,7 @@ import (
 	"adafl/internal/dataset"
 	"adafl/internal/nn"
 	"adafl/internal/obs"
+	"adafl/internal/shard"
 	"adafl/internal/stats"
 	"adafl/internal/tensor"
 )
@@ -84,6 +85,21 @@ type ServerConfig struct {
 	// validation (index bounds, length pairing) and NaN/Inf scrubbing
 	// are always on.
 	MaxUpdateNorm float64
+	// Shards, when positive, streams arriving updates through an
+	// internal/shard aggregation tree instead of buffering the round's
+	// update set: each update folds into its shard's running partial as
+	// it is received, so server memory per round is O(Shards·dim)
+	// rather than O(clients·nnz). Shards=1 reproduces the buffered
+	// aggregation bit for bit; Shards>1 is deterministic for a fixed
+	// shard count. With MaxUpdateNorm set, the norm gate runs in its
+	// causal per-shard form (see internal/shard) instead of the
+	// buffered retrospective one. The shard tree's geometry joins the
+	// session checkpoint, so a resume with a different -shards value is
+	// refused.
+	Shards int
+	// ShardQueueDepth overrides the per-shard ingest queue depth
+	// (default shard.DefaultQueueDepth).
+	ShardQueueDepth int
 	// Metrics, when non-nil, receives the server's operational metrics:
 	// round/phase latencies, uplink/downlink bytes, evictions,
 	// quarantines, reconnects, utility-score and compression-ratio
@@ -168,6 +184,7 @@ type Server struct {
 	met  serverMetrics
 
 	quarantines []QuarantineRecord // touched only by the round loop goroutine
+	tree        *shard.Tree        // streaming aggregation tree (nil when Shards == 0)
 }
 
 // ErrServerKilled is returned by Run when Kill interrupted the session:
@@ -241,6 +258,18 @@ func (s *Server) Run() (*ServerResult, error) {
 	global := model.ParamVector()
 	globalDelta := make([]float64, len(global))
 
+	if s.cfg.Shards > 0 {
+		s.tree = shard.NewTree(shard.Config{
+			Shards:      s.cfg.Shards,
+			Dim:         len(global),
+			QueueDepth:  s.cfg.ShardQueueDepth,
+			MaxNormMult: s.cfg.MaxUpdateNorm,
+			Metrics:     s.cfg.Metrics,
+			Logf:        s.cfg.Logf,
+		})
+		defer s.tree.Close()
+	}
+
 	res := &ServerResult{ResumedFrom: -1}
 	planner := newServerSelector(s.cfg.Cfg)
 	startRound := 0
@@ -267,6 +296,16 @@ func (s *Server) Run() (*ServerResult, error) {
 			res.ResumedFrom = startRound
 			if s.cfg.RNG != nil && snap.RNG != nil {
 				*s.cfg.RNG = *snap.RNG
+			}
+			if s.tree != nil {
+				// A snapshot from an older binary (no shard state) restores
+				// as a no-op; a snapshot taken under a different -shards
+				// value is refused — silently re-routing clients would break
+				// the fixed-shard-count determinism contract.
+				if err := s.tree.Restore(snap.ShardState); err != nil {
+					s.listener.Close()
+					return nil, fmt.Errorf("rpc: resume from %s: %w", s.checkpointPath(), err)
+				}
 			}
 			s.cfg.Logf("server: resumed session at round %d (%d rounds restored, final acc so far %.3f)",
 				startRound+1, len(snap.History), snap.FinalAcc)
@@ -622,12 +661,22 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 			updCh <- updRes{c: c, upd: e.Update}
 		}()
 	}
-	// Collect the partial set, then screen it: structural validation,
-	// NaN/Inf scrubbing and the median-relative norm gate all run before
-	// a single coordinate touches the accumulator. Quarantined clients
-	// are evicted exactly like stragglers, so their weight leaves the
-	// renormalisation and the global model is bitwise unaffected by the
-	// rejected update.
+	// Collect the partial set, then screen and aggregate. Two paths:
+	//
+	// Buffered (Shards == 0): the round's updates are held back, the
+	// retrospective integrity screen (structural validation, NaN/Inf
+	// scrubbing, median-relative norm gate) runs over the full set, and
+	// the survivors fold into one accumulator.
+	//
+	// Streaming (Shards > 0): each update is handed to the shard tree
+	// the moment it arrives; the workers run the same validation and
+	// scrubbing plus the causal per-shard norm gate, folding survivors
+	// into running partials, so the server never holds more than the
+	// in-flight queues. Finish() merges the partials in shard order.
+	//
+	// Either way, quarantined clients are evicted exactly like
+	// stragglers: their weight leaves the renormalisation and the
+	// global model is bitwise unaffected by the rejected update.
 	received := make([]roundUpdate, 0, len(alive))
 	connByID := make(map[int]*clientConn, len(alive))
 	for range alive {
@@ -638,13 +687,38 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 			continue
 		}
 		if r.upd != nil {
-			received = append(received, roundUpdate{clientID: r.c.id, samples: r.c.samples, upd: r.upd})
 			connByID[r.c.id] = r.c
 			s.cfg.Events.Emit(obs.Event{Type: "update", Round: round, Client: r.c.id, Bytes: int64(r.upd.WireBytes())})
+			if s.tree != nil {
+				s.tree.Ingest(round, shard.Update{
+					Client: r.c.id,
+					Weight: float64(r.c.samples) / float64(totalSamples),
+					Delta:  r.upd,
+				})
+			} else {
+				received = append(received, roundUpdate{clientID: r.c.id, samples: r.c.samples, upd: r.upd})
+			}
 		}
 	}
 	s.met.updateSec.Observe(time.Since(updatePhaseStart).Seconds())
-	kept, quarantined := screenUpdates(round, len(global), s.cfg.MaxUpdateNorm, received, s.cfg.Logf)
+
+	aggStart := time.Now()
+	var part *shard.Partial
+	var quarantined []QuarantineRecord
+	if s.tree != nil {
+		part, quarantined = s.tree.Finish()
+	} else {
+		var kept []roundUpdate
+		kept, quarantined = screenUpdates(round, len(global), s.cfg.MaxUpdateNorm, received, s.cfg.Logf)
+		part = shard.NewPartial(len(global))
+		for _, u := range kept {
+			part.Fold(shard.Update{
+				Client: u.clientID,
+				Weight: float64(u.samples) / float64(totalSamples),
+				Delta:  u.upd,
+			}, false)
+		}
+	}
 	for _, q := range quarantined {
 		s.met.quarantines.Inc()
 		s.cfg.Events.Emit(obs.Event{Type: "quarantine", Round: round, Client: q.ClientID, Reason: q.Reason, Norm: q.Norm})
@@ -654,21 +728,13 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 	}
 	s.quarantines = append(s.quarantines, quarantined...)
 
-	// Aggregate the survivors (FedAvg weighted by sample counts of the
-	// round's roster; the 1/weightSum renormalisation keeps the average
+	// Apply the merged partial (FedAvg weighted by sample counts of the
+	// round's roster; the 1/WeightSum renormalisation keeps the average
 	// well-formed when some selected updates never arrive).
-	aggStart := time.Now()
-	agg := make([]float64, len(global))
-	weightSum := 0.0
-	for _, u := range kept {
-		w := float64(u.samples) / float64(totalSamples)
-		u.upd.AddTo(agg, w)
-		weightSum += w
-		rec.Received++
-	}
+	rec.Received = part.Count
 	before := tensor.CopyVec(global)
-	if weightSum > 0 {
-		tensor.Axpy(1/weightSum, agg, global)
+	if part.WeightSum > 0 {
+		tensor.Axpy(1/part.WeightSum, part.Sum, global)
 	}
 	tensor.SubVec(globalDelta, global, before)
 	s.cfg.Events.Emit(obs.Event{Type: "aggregate", Round: round, Client: -1,
@@ -744,6 +810,12 @@ type sessionSnapshot struct {
 	Evictions       int
 	FinalAcc        float64
 	RNG             *stats.RNG
+	// ShardState is the aggregation tree's geometry and partials (nil
+	// when the session runs buffered). Snapshots are taken at round
+	// boundaries, where the partials are freshly reset, so its real job
+	// is pinning the shard count: a resume under a different -shards
+	// value is refused rather than silently re-routing clients.
+	ShardState *shard.TreeState
 }
 
 func (s *Server) checkpointPath() string {
@@ -755,6 +827,10 @@ func (s *Server) saveCheckpoint(round int, global, globalDelta []float64,
 	lastSel := make(map[int]int, len(planner.lastSel))
 	for id, r := range planner.lastSel {
 		lastSel[id] = r
+	}
+	var treeState *shard.TreeState
+	if s.tree != nil {
+		treeState = s.tree.Snapshot()
 	}
 	return checkpoint.SaveSized(s.checkpointPath(), &sessionSnapshot{
 		CompletedRound:  round,
@@ -770,6 +846,7 @@ func (s *Server) saveCheckpoint(round int, global, globalDelta []float64,
 		Evictions:       res.Evictions,
 		FinalAcc:        res.FinalAcc,
 		RNG:             s.cfg.RNG,
+		ShardState:      treeState,
 	})
 }
 

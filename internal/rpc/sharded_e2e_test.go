@@ -1,0 +1,289 @@
+package rpc
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"adafl/internal/checkpoint"
+	"adafl/internal/compress"
+	"adafl/internal/obs"
+)
+
+// scriptedUpdate returns a deterministic, structurally valid sparse
+// update that depends only on the round, so two sessions fed by
+// scripted clients see byte-identical uplink traffic.
+func scriptedUpdate(round, dim int) *compress.Sparse {
+	idx := make([]int32, 8)
+	vals := make([]float64, 8)
+	for i := range idx {
+		idx[i] = int32((round*11 + i*3) % dim)
+		vals[i] = 0.01 * float64(i+1) * float64(round+1)
+	}
+	return &compress.Sparse{Dim: dim, Indices: idx, Values: vals}
+}
+
+// TestShardedSessionBitwiseEquivalentToBuffered drives two complete
+// server sessions with an identical scripted client — one buffered
+// (Shards=0), one streaming through a single shard — and compares every
+// model broadcast bit for bit. This is the tentpole equivalence
+// contract at the wire level: the streaming tree is invisible to the
+// training trajectory.
+func TestShardedSessionBitwiseEquivalentToBuffered(t *testing.T) {
+	const rounds = 3
+	run := func(shards int) [][]float64 {
+		env := newChaosEnv(1, 160, 12, 16, 71)
+		scfg := env.serverConfig(rounds)
+		scfg.Shards = shards
+		var srv *Server
+		scfg.OnRound = func(rec RoundRecord) { waitForClient(t, srv, 0, 10*time.Second) }
+		srv, err := NewServer(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outCh := make(chan *evilResult, 1)
+		go func() { outCh <- runEvilClient(srv.Addr(), 0, 120, 50, scriptedUpdate) }()
+		res, err := srv.Run()
+		if err != nil {
+			t.Fatalf("Shards=%d session: %v", shards, err)
+		}
+		if len(res.Rounds) != rounds {
+			t.Fatalf("Shards=%d: completed %d/%d rounds", shards, len(res.Rounds), rounds)
+		}
+		if len(res.Quarantines) != 0 {
+			t.Fatalf("Shards=%d: scripted client quarantined: %+v", shards, res.Quarantines)
+		}
+		return (<-outCh).broadcasts
+	}
+	buffered := run(0)
+	streamed := run(1)
+	if len(buffered) != len(streamed) || len(buffered) < rounds {
+		t.Fatalf("broadcast counts differ: %d vs %d", len(buffered), len(streamed))
+	}
+	for r := range buffered {
+		if len(buffered[r]) != len(streamed[r]) {
+			t.Fatalf("round %d: broadcast dims differ", r)
+		}
+		for i := range buffered[r] {
+			if buffered[r][i] != streamed[r][i] {
+				t.Fatalf("round %d: global[%d] differs bitwise: %v (buffered) vs %v (Shards=1)",
+					r, i, buffered[r][i], streamed[r][i])
+			}
+		}
+	}
+}
+
+// TestChaosShardedQuarantineAndResumeGuard is the sharded acceptance
+// chaos run: four clients stream through two shards while one honest
+// client's link is hard-cut mid-session and a hostile client ships
+// malformed updates every round. The server must finish every round,
+// quarantine the poison inside its shard, evict the cut straggler, and
+// write checkpoints carrying the tree geometry — which must then refuse
+// a resume under a different shard count.
+func TestChaosShardedQuarantineAndResumeGuard(t *testing.T) {
+	const rounds = 12
+	env := newChaosEnv(4, 600, 12, 16, 83)
+	ckptDir := t.TempDir()
+	scfg := env.serverConfig(rounds)
+	scfg.Shards = 2
+	scfg.CheckpointDir = ckptDir
+	var srv *Server
+	scfg.OnRound = func(rec RoundRecord) {
+		// Hold each boundary until the (repeatedly evicted) hostile
+		// client has redialled, so it is screened every round.
+		waitForClient(t, srv, 3, 10*time.Second)
+	}
+	srv, err := NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgs := make([]ClientConfig, 3)
+	for i := range cfgs {
+		cfgs[i] = env.clientConfig(i, srv.Addr())
+	}
+	// Client 2: link dies permanently after its early uploads (straggler
+	// cut mid-session; no retries, stays dead).
+	cfgs[2].Fault = &FaultConfig{CutAfterBytes: 20_000}
+	cfgs[2].MaxRetries = 0
+
+	honestCh := make(chan []error, 1)
+	go func() {
+		_, errs := runClients(cfgs)
+		honestCh <- errs
+	}()
+	evilCh := make(chan *evilResult, 1)
+	go func() {
+		evilCh <- runEvilClient(srv.Addr(), 3, 120, 100,
+			func(round, dim int) *compress.Sparse {
+				return &compress.Sparse{Dim: dim,
+					Indices: []int32{1, int32(dim + 9)}, Values: []float64{2, 4}}
+			})
+	}()
+
+	res, err := srv.Run()
+	if err != nil {
+		t.Fatalf("sharded chaos session aborted: %v", err)
+	}
+	<-evilCh
+	errs := <-honestCh
+	for _, i := range []int{0, 1} {
+		if errs[i] != nil {
+			t.Errorf("healthy client %d: %v", i, errs[i])
+		}
+	}
+	if errs[2] == nil {
+		t.Error("cut client unexpectedly survived")
+	}
+
+	if len(res.Rounds) != rounds {
+		t.Fatalf("completed %d/%d rounds", len(res.Rounds), rounds)
+	}
+	if len(res.Quarantines) < 2 {
+		t.Fatalf("quarantines = %d, want one per round the hostile client reached: %+v",
+			len(res.Quarantines), res.Quarantines)
+	}
+	for _, q := range res.Quarantines {
+		if q.ClientID != 3 {
+			t.Errorf("quarantined honest client %d: %s", q.ClientID, q.Reason)
+		}
+		if !strings.Contains(q.Reason, "out of range") {
+			t.Errorf("quarantine reason %q does not name the bad index", q.Reason)
+		}
+	}
+	if res.Evictions < len(res.Quarantines)+1 {
+		t.Errorf("evictions = %d, want >= %d (quarantines + cut straggler)",
+			res.Evictions, len(res.Quarantines)+1)
+	}
+	if res.FinalAcc < 0.3 {
+		t.Fatalf("sharded chaos session did not learn: acc %.3f", res.FinalAcc)
+	}
+
+	// The checkpoint carries the tree geometry.
+	var snap sessionSnapshot
+	if err := checkpoint.Load(filepath.Join(ckptDir, snapshotFile), &snap); err != nil {
+		t.Fatalf("loading session checkpoint: %v", err)
+	}
+	if snap.ShardState == nil || snap.ShardState.Shards != 2 {
+		t.Fatalf("checkpoint shard state %+v, want Shards=2", snap.ShardState)
+	}
+	if snap.CompletedRound != rounds-1 {
+		t.Fatalf("checkpoint at round %d, want %d", snap.CompletedRound, rounds-1)
+	}
+
+	// A resume under a different shard count must be refused: silently
+	// re-routing clients would break the determinism contract.
+	rcfg := env.serverConfig(rounds + 2)
+	rcfg.Shards = 3
+	rcfg.CheckpointDir = ckptDir
+	rcfg.Resume = true
+	rsrv, err := NewServer(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rsrv.Run(); err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("resume with mismatched shard count: err = %v, want shard-count refusal", err)
+	}
+}
+
+// TestShardedObservabilityEndToEnd extends the observability acceptance
+// scenario to a sharded session: the shard-labelled instrument families
+// (queue depth, fold latency, received/evicted totals, backpressure,
+// merge latency) must appear in the /metrics exposition and agree with
+// the session result.
+func TestShardedObservabilityEndToEnd(t *testing.T) {
+	const rounds, shards = 4, 2
+	env := newChaosEnv(3, 400, 12, 16, 93)
+
+	reg := obs.NewRegistry()
+	dbg, err := obs.NewDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+
+	scfg := env.serverConfig(rounds)
+	scfg.Shards = shards
+	scfg.Metrics = reg
+	srv, err := NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]ClientConfig, env.clients)
+	for i := range cfgs {
+		cfgs[i] = env.clientConfig(i, srv.Addr())
+	}
+	clientsDone := make(chan struct{})
+	go func() { runClients(cfgs); close(clientsDone) }()
+	res, err := srv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-clientsDone
+	if len(res.Rounds) != rounds {
+		t.Fatalf("session ran %d of %d rounds", len(res.Rounds), rounds)
+	}
+
+	resp, err := http.Get("http://" + dbg.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, string(body))
+
+	folded := 0
+	for _, rec := range res.Rounds {
+		folded += rec.Received
+	}
+	ingested := folded + len(res.Quarantines)
+
+	recvTotal, foldCount, evictedTotal := 0.0, 0.0, 0.0
+	for i := 0; i < shards; i++ {
+		recv, ok := samples[fmt.Sprintf(`adafl_shard_received_total{shard="%d"}`, i)]
+		if !ok {
+			t.Errorf("shard %d: received_total series missing", i)
+		}
+		recvTotal += recv
+		fc, ok := samples[fmt.Sprintf(`adafl_shard_fold_seconds_count{shard="%d"}`, i)]
+		if !ok {
+			t.Errorf("shard %d: fold_seconds histogram missing", i)
+		}
+		foldCount += fc
+		evictedTotal += samples[fmt.Sprintf(`adafl_shard_evicted_total{shard="%d"}`, i)]
+		if depth, ok := samples[fmt.Sprintf(`adafl_shard_queue_depth{shard="%d"}`, i)]; !ok {
+			t.Errorf("shard %d: queue_depth gauge missing", i)
+		} else if depth != 0 {
+			t.Errorf("shard %d: queue depth %v after session end, want 0", i, depth)
+		}
+	}
+	if recvTotal != float64(ingested) {
+		t.Errorf("shard received_total sums to %v, want %d ingested updates", recvTotal, ingested)
+	}
+	if foldCount != float64(folded) {
+		t.Errorf("fold latency observations %v, want %d folds", foldCount, folded)
+	}
+	if evictedTotal != float64(len(res.Quarantines)) {
+		t.Errorf("shard evicted_total %v, want %d quarantines", evictedTotal, len(res.Quarantines))
+	}
+	if got := samples["adafl_shard_merge_seconds_count"]; got != float64(rounds) {
+		t.Errorf("merge latency observations %v, want %d rounds", got, rounds)
+	}
+	if _, ok := samples["adafl_shard_backpressure_total"]; !ok {
+		t.Error("backpressure counter series missing")
+	}
+	// The round-engine families from the unsharded path still report.
+	if got := samples["adafl_rounds_total"]; got != float64(rounds) {
+		t.Errorf("adafl_rounds_total = %v, want %d", got, rounds)
+	}
+	if got := samples["adafl_quarantines_total"]; got != float64(len(res.Quarantines)) {
+		t.Errorf("adafl_quarantines_total = %v, want %d", got, len(res.Quarantines))
+	}
+}

@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"adafl/internal/compress"
+)
+
+// FuzzShardMerge drives the streaming tree with adversarially generated
+// update batches — random shard counts, random weights, sparse indices
+// including duplicates and out-of-range ones — and cross-checks the
+// merged root partial against the buffered reference fold over the same
+// surviving updates. The invariants under fuzz:
+//
+//   - the tree never panics or deadlocks on malformed input;
+//   - every update is either folded or quarantined, never both, never
+//     neither;
+//   - the merged sums match the reference within reassociation
+//     tolerance, and the weight sums match exactly as a sum of the
+//     kept updates' weights per shard.
+func FuzzShardMerge(f *testing.F) {
+	f.Add(uint64(1), uint8(1), uint8(4), uint8(8))
+	f.Add(uint64(7), uint8(3), uint8(20), uint8(16))
+	f.Add(uint64(42), uint8(8), uint8(50), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, shards, nups, dim8 uint8) {
+		s := int(shards)%8 + 1
+		n := int(nups) % 64
+		dim := int(dim8)%48 + 2
+		rng := newFuzzRNG(seed)
+
+		ups := make([]Update, n)
+		for c := range ups {
+			nnz := int(rng.next() % uint64(dim+2)) // can exceed dim → invalid
+			idx := make([]int32, nnz)
+			vals := make([]float64, nnz)
+			for i := range idx {
+				// ~1/16 of indices land out of range, duplicates allowed.
+				idx[i] = int32(rng.next() % uint64(dim+dim/16+1))
+				switch rng.next() % 16 {
+				case 0:
+					vals[i] = math.NaN()
+				case 1:
+					vals[i] = math.Inf(1)
+				default:
+					vals[i] = float64(int64(rng.next()%2000)-1000) / 100
+				}
+			}
+			d := dim
+			if rng.next()%16 == 0 {
+				d++ // declared-dim mismatch → invalid
+			}
+			ups[c] = Update{
+				Client: c,
+				Weight: float64(rng.next()%100) / 10,
+				Delta:  &compress.Sparse{Dim: d, Indices: idx, Values: vals},
+			}
+		}
+
+		tree := NewTree(Config{Shards: s, Dim: dim})
+		defer tree.Close()
+		for _, u := range ups {
+			tree.Ingest(0, u)
+		}
+		got, quars := tree.Finish()
+
+		if got.Count+len(quars) != n {
+			t.Fatalf("folded %d + quarantined %d != %d ingested", got.Count, len(quars), n)
+		}
+
+		// Rebuild the survivor set and fold it with the buffered
+		// reference, per shard then merged in shard order, to mirror the
+		// tree's summation topology exactly. Scrub already zeroed the
+		// tree's copies in place, so the reference sees identical values.
+		quarantinedSet := map[int]bool{}
+		for _, q := range quars {
+			quarantinedSet[q.ClientID] = true
+		}
+		perShard := make([]*Partial, s)
+		for i := range perShard {
+			perShard[i] = NewPartial(dim)
+		}
+		for _, u := range ups {
+			if quarantinedSet[u.Client] {
+				continue
+			}
+			perShard[tree.Route(u.Client)].Fold(u, false)
+		}
+		want := NewPartial(dim)
+		for _, p := range perShard {
+			want.Merge(p)
+		}
+
+		if got.Count != want.Count {
+			t.Fatalf("count %d vs reference %d", got.Count, want.Count)
+		}
+		if got.WeightSum != want.WeightSum {
+			t.Fatalf("weight sum %v vs reference %v", got.WeightSum, want.WeightSum)
+		}
+		for i := range want.Sum {
+			if d := math.Abs(got.Sum[i] - want.Sum[i]); d > 1e-9*(1+math.Abs(want.Sum[i])) {
+				t.Fatalf("Sum[%d]: %v vs reference %v", i, got.Sum[i], want.Sum[i])
+			}
+		}
+	})
+}
+
+// newFuzzRNG is a tiny splitmix64 so the fuzz body derives all its
+// randomness from the fuzzer-controlled seed (test code must not call
+// math/rand's global source under -fuzz).
+type fuzzRNG struct{ s uint64 }
+
+func newFuzzRNG(seed uint64) *fuzzRNG { return &fuzzRNG{s: seed} }
+
+func (r *fuzzRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"adafl/internal/compress"
+)
+
+// Logf is the logging callback type shared with the engines.
+type Logf func(format string, args ...interface{})
+
+func quiet(string, ...interface{}) {}
+
+// QuarantineRecord documents one rejected client update: which client,
+// which round, why, and the update's L2 norm (0 for structural rejects,
+// where the norm is not trustworthy). Quarantined updates are never
+// folded; the caller evicts the offending client exactly like a
+// straggler, so its weight leaves the renormalisation.
+type QuarantineRecord struct {
+	Round    int
+	ClientID int
+	Reason   string
+	Norm     float64
+}
+
+// Item pairs an update with its sender for the buffered screen. Tag is
+// an opaque caller token (the rpc server stores its slice index there to
+// map kept items back onto connections).
+type Item struct {
+	Client int
+	Tag    int
+	Upd    *compress.Sparse
+}
+
+// NormGateMinUpdates is the minimum number of structurally valid
+// updates before the median-relative norm gate engages: with fewer, the
+// median is dominated by the very update under judgment and the gate
+// would be deciding against itself.
+const NormGateMinUpdates = 3
+
+// Screen is the buffered (single-shot) integrity screen, used when the
+// server aggregates at the barrier: it validates every received update
+// before aggregation and returns the survivors plus quarantine records
+// for the rejects:
+//
+//  1. Structural validation (compress.Sparse.Validate): declared
+//     dimension, index/value pairing, index bounds. A failure here would
+//     panic the aggregation or silently corrupt the model.
+//  2. Non-finite scrubbing (compress.Sparse.Scrub): NaN/Inf values are
+//     zeroed in place; an update with no finite signal at all is
+//     quarantined rather than applied as a zero update from a client
+//     whose training has diverged.
+//  3. L2-norm outlier gate: with maxNormMult > 0 and at least
+//     NormGateMinUpdates survivors, updates whose norm exceeds
+//     maxNormMult times the round's median norm are quarantined. The
+//     median is robust to the outliers being gated; the gate is skipped
+//     when the median is zero (an all-zero round has no scale to judge
+//     against).
+//
+// Screen mutates only the updates' values (scrubbing) and never
+// reorders kept items. The streaming shard workers run the same checks
+// per update, with the causal variant of the norm gate (see onlineGate).
+func Screen(round, dim int, maxNormMult float64, ups []Item, logf Logf) (keep []Item, quarantined []QuarantineRecord) {
+	if logf == nil {
+		logf = quiet
+	}
+	keep = make([]Item, 0, len(ups))
+	for _, u := range ups {
+		if err := u.Upd.Validate(dim); err != nil {
+			quarantined = append(quarantined, QuarantineRecord{
+				Round: round, ClientID: u.Client, Reason: err.Error(),
+			})
+			continue
+		}
+		if n := u.Upd.Scrub(); n > 0 {
+			if n == u.Upd.NNZ() {
+				quarantined = append(quarantined, QuarantineRecord{
+					Round: round, ClientID: u.Client,
+					Reason: fmt.Sprintf("update entirely non-finite (%d values)", n),
+				})
+				continue
+			}
+			logf("server: round %d: scrubbed %d non-finite values from client %d",
+				round+1, n, u.Client)
+		}
+		keep = append(keep, u)
+	}
+
+	if maxNormMult <= 0 || len(keep) < NormGateMinUpdates {
+		return keep, quarantined
+	}
+	norms := make([]float64, len(keep))
+	for i, u := range keep {
+		norms[i] = u.Upd.Norm2()
+	}
+	med := Median(norms)
+	if med <= 0 {
+		return keep, quarantined
+	}
+	limit := maxNormMult * med
+	gated := keep[:0]
+	for i, u := range keep {
+		if norms[i] > limit {
+			quarantined = append(quarantined, QuarantineRecord{
+				Round: round, ClientID: u.Client, Norm: norms[i],
+				Reason: fmt.Sprintf("L2 norm %.4g exceeds %.4g (%.3g x round median %.4g)",
+					norms[i], limit, maxNormMult, med),
+			})
+			continue
+		}
+		gated = append(gated, u)
+	}
+	return gated, quarantined
+}
+
+// Median returns the median of xs (mean of the middle pair for even
+// counts). xs is copied, not mutated.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}
+
+// onlineGate is the streaming form of the median-relative norm gate. A
+// shard cannot hold the round's updates back to compute a retrospective
+// median — that would reintroduce the O(clients) buffering the tree
+// exists to remove — so the gate is causal: an update is judged against
+// the median of the norms this shard has already accepted this round,
+// once at least NormGateMinUpdates of them exist. Updates arriving
+// before the quorum fold unconditionally, exactly as the buffered gate
+// declines to judge rounds with fewer than NormGateMinUpdates updates.
+// Only O(updates-per-shard) scalars are retained.
+type onlineGate struct {
+	mult  float64
+	norms []float64 // accepted norms this round, kept sorted
+}
+
+// admit reports whether an update with the given norm passes the gate,
+// returning the median it was judged against (0 when the gate did not
+// engage). Accepted norms join the running median; rejected ones do
+// not — a flood of outliers must not drag the median toward itself.
+func (g *onlineGate) admit(norm float64) (ok bool, med float64) {
+	if g.mult > 0 && len(g.norms) >= NormGateMinUpdates {
+		med = g.median()
+		if med > 0 && norm > g.mult*med {
+			return false, med
+		}
+	}
+	i := sort.SearchFloat64s(g.norms, norm)
+	g.norms = append(g.norms, 0)
+	copy(g.norms[i+1:], g.norms[i:])
+	g.norms[i] = norm
+	return true, med
+}
+
+// median of the sorted accepted norms, O(1).
+func (g *onlineGate) median() float64 {
+	n := len(g.norms)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return g.norms[n/2]
+	}
+	return (g.norms[n/2-1] + g.norms[n/2]) / 2
+}
+
+// reset clears the per-round gate state, keeping the backing array.
+func (g *onlineGate) reset() { g.norms = g.norms[:0] }

@@ -1,0 +1,402 @@
+package shard
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adafl/internal/checkpoint"
+	"adafl/internal/compress"
+	"adafl/internal/obs"
+	"adafl/internal/stats"
+)
+
+// mkSparse builds a valid sparse update message.
+func mkSparse(dim int, idx []int32, vals []float64) *compress.Sparse {
+	return &compress.Sparse{Dim: dim, Indices: idx, Values: vals}
+}
+
+// randomUpdates generates n valid sparse updates over dim coordinates.
+func randomUpdates(n, dim, nnz int, seed uint64) []Update {
+	rng := stats.NewRNG(seed)
+	ups := make([]Update, n)
+	for c := range ups {
+		idx := make([]int32, nnz)
+		vals := make([]float64, nnz)
+		seen := map[int32]bool{}
+		for i := range idx {
+			v := int32(rng.Intn(dim))
+			for seen[v] {
+				v = int32(rng.Intn(dim))
+			}
+			seen[v] = true
+			idx[i] = v
+			vals[i] = rng.Norm()
+		}
+		ups[c] = Update{Client: c, Weight: 0.5 + rng.Float64(), Delta: mkSparse(dim, idx, vals)}
+	}
+	return ups
+}
+
+// referenceFold is the buffered two-phase aggregation the tree must
+// reproduce: fold in slice order, one weight sum.
+func referenceFold(dim int, ups []Update, unweighted bool) *Partial {
+	p := NewPartial(dim)
+	for _, u := range ups {
+		p.Fold(u, unweighted)
+	}
+	return p
+}
+
+func runTree(t *testing.T, cfg Config, ups []Update) (*Partial, []QuarantineRecord) {
+	t.Helper()
+	tree := NewTree(cfg)
+	defer tree.Close()
+	for _, u := range ups {
+		tree.Ingest(0, u)
+	}
+	return tree.Finish()
+}
+
+// TestTreeS1Bitwise: with one shard and sequential ingest the streaming
+// fold is the buffered fold — bit for bit, weights included.
+func TestTreeS1Bitwise(t *testing.T) {
+	const dim = 257
+	ups := randomUpdates(40, dim, 16, 1)
+	want := referenceFold(dim, ups, false)
+	got, quars := runTree(t, Config{Shards: 1, Dim: dim}, ups)
+	if len(quars) != 0 {
+		t.Fatalf("unexpected quarantines: %+v", quars)
+	}
+	if got.Count != want.Count || got.WeightSum != want.WeightSum {
+		t.Fatalf("count/weight: got %d/%v want %d/%v", got.Count, got.WeightSum, want.Count, want.WeightSum)
+	}
+	for i := range want.Sum {
+		if got.Sum[i] != want.Sum[i] {
+			t.Fatalf("Sum[%d] differs bitwise: %v vs %v", i, got.Sum[i], want.Sum[i])
+		}
+	}
+}
+
+// TestTreeMultiShardTolerance: S>1 reassociates the summation, so the
+// result matches the reference within accumulation tolerance and the
+// weight sum is exact up to the same tolerance.
+func TestTreeMultiShardTolerance(t *testing.T) {
+	const dim = 300
+	ups := randomUpdates(64, dim, 24, 2)
+	want := referenceFold(dim, ups, false)
+	for _, s := range []int{2, 3, 7} {
+		got, _ := runTree(t, Config{Shards: s, Dim: dim}, ups)
+		if got.Count != want.Count {
+			t.Fatalf("S=%d: folded %d of %d", s, got.Count, want.Count)
+		}
+		if math.Abs(got.WeightSum-want.WeightSum) > 1e-9*math.Abs(want.WeightSum) {
+			t.Fatalf("S=%d: weight sum %v vs %v", s, got.WeightSum, want.WeightSum)
+		}
+		for i := range want.Sum {
+			if d := math.Abs(got.Sum[i] - want.Sum[i]); d > 1e-9*(1+math.Abs(want.Sum[i])) {
+				t.Fatalf("S=%d: Sum[%d] off by %g", s, i, d)
+			}
+		}
+	}
+}
+
+// TestTreeFixedOrderDeterminism: same shard count, same ingest order →
+// bitwise identical merged partials, run after run.
+func TestTreeFixedOrderDeterminism(t *testing.T) {
+	const dim = 128
+	ups := randomUpdates(50, dim, 12, 3)
+	a, _ := runTree(t, Config{Shards: 4, Dim: dim}, ups)
+	b, _ := runTree(t, Config{Shards: 4, Dim: dim}, ups)
+	if a.WeightSum != b.WeightSum || a.Count != b.Count {
+		t.Fatalf("scalar state differs: %v/%d vs %v/%d", a.WeightSum, a.Count, b.WeightSum, b.Count)
+	}
+	for i := range a.Sum {
+		if a.Sum[i] != b.Sum[i] {
+			t.Fatalf("Sum[%d] not deterministic: %v vs %v", i, a.Sum[i], b.Sum[i])
+		}
+	}
+}
+
+// TestTreeEdgeCases covers the degenerate rounds the aggregators must
+// survive: no updates at all, all-zero weights, malformed updates
+// dropped mid-stream, and a round where every update is rejected.
+func TestTreeEdgeCases(t *testing.T) {
+	const dim = 32
+	t.Run("empty round", func(t *testing.T) {
+		got, quars := runTree(t, Config{Shards: 3, Dim: dim}, nil)
+		if got.Count != 0 || got.WeightSum != 0 || len(quars) != 0 {
+			t.Fatalf("empty round produced state: %+v %+v", got, quars)
+		}
+	})
+	t.Run("zero weights", func(t *testing.T) {
+		ups := []Update{
+			{Client: 0, Weight: 0, Delta: mkSparse(dim, []int32{1}, []float64{2})},
+			{Client: 1, Weight: 0, Delta: mkSparse(dim, []int32{2}, []float64{3})},
+		}
+		got, _ := runTree(t, Config{Shards: 2, Dim: dim}, ups)
+		if got.Count != 2 || got.WeightSum != 0 {
+			t.Fatalf("zero-weight fold: count %d weight %v", got.Count, got.WeightSum)
+		}
+		// The caller's renormalisation guard (WeightSum == 0 → no-op)
+		// is what keeps this from dividing by zero; Sum still holds the
+		// raw zero-scaled fold.
+		for i, v := range got.Sum {
+			if v != 0 {
+				t.Fatalf("Sum[%d] = %v for zero-weight folds", i, v)
+			}
+		}
+	})
+	t.Run("malformed dropped", func(t *testing.T) {
+		good := Update{Client: 0, Weight: 1, Delta: mkSparse(dim, []int32{3}, []float64{1})}
+		bad := Update{Client: 1, Weight: 1, Delta: mkSparse(dim, []int32{int32(dim) + 5}, []float64{9})}
+		nilMsg := Update{Client: 2, Weight: 1, Delta: nil}
+		got, quars := runTree(t, Config{Shards: 2, Dim: dim}, []Update{good, bad, nilMsg})
+		if got.Count != 1 || got.WeightSum != 1 {
+			t.Fatalf("kept %d updates, weight %v", got.Count, got.WeightSum)
+		}
+		if len(quars) != 2 {
+			t.Fatalf("quarantined %d, want 2: %+v", len(quars), quars)
+		}
+		for _, q := range quars {
+			if q.ClientID != 1 && q.ClientID != 2 {
+				t.Errorf("quarantined wrong client %d", q.ClientID)
+			}
+		}
+	})
+	t.Run("all evicted", func(t *testing.T) {
+		ups := []Update{
+			{Client: 0, Weight: 1, Delta: mkSparse(dim, []int32{0}, []float64{math.NaN()})},
+			{Client: 1, Weight: 1, Delta: mkSparse(dim, []int32{0, 1}, []float64{1})},
+		}
+		got, quars := runTree(t, Config{Shards: 2, Dim: dim}, ups)
+		if got.Count != 0 || got.WeightSum != 0 {
+			t.Fatalf("all-evicted round folded state: %+v", got)
+		}
+		if len(quars) != 2 {
+			t.Fatalf("quarantined %d, want 2", len(quars))
+		}
+	})
+}
+
+// TestTreeUnweightedAndCtrl: SCAFFOLD mode folds with scale 1 and
+// accumulates control-variate partials.
+func TestTreeUnweightedAndCtrl(t *testing.T) {
+	const dim = 16
+	ctrl := make([]float64, dim)
+	ctrl[4] = 2.5
+	ups := []Update{
+		{Client: 0, Weight: 7, Delta: mkSparse(dim, []int32{1}, []float64{1}), Ctrl: ctrl},
+		{Client: 1, Weight: 9, Delta: mkSparse(dim, []int32{1}, []float64{3})},
+	}
+	got, _ := runTree(t, Config{Shards: 2, Dim: dim, Unweighted: true}, ups)
+	if got.WeightSum != 2 || got.Count != 2 {
+		t.Fatalf("unweighted fold: weight %v count %d", got.WeightSum, got.Count)
+	}
+	if got.Sum[1] != 4 {
+		t.Fatalf("Sum[1] = %v, want 4", got.Sum[1])
+	}
+	if got.CtrlCount != 1 || got.CtrlSum == nil || got.CtrlSum[4] != 2.5 {
+		t.Fatalf("ctrl partial wrong: count %d sum %+v", got.CtrlCount, got.CtrlSum)
+	}
+}
+
+// TestTreeOnlineNormGate: after three honest updates establish a shard
+// median, an absurd-magnitude update is quarantined; the honest ones
+// fold through.
+func TestTreeOnlineNormGate(t *testing.T) {
+	const dim = 64
+	tree := NewTree(Config{Shards: 1, Dim: dim, MaxNormMult: 5})
+	defer tree.Close()
+	for c := 0; c < 4; c++ {
+		tree.Ingest(2, Update{Client: c, Weight: 1, Delta: mkSparse(dim, []int32{int32(c)}, []float64{1})})
+	}
+	tree.Ingest(2, Update{Client: 9, Weight: 1, Delta: mkSparse(dim, []int32{7}, []float64{1e8})})
+	got, quars := tree.Finish()
+	if got.Count != 4 {
+		t.Fatalf("folded %d honest updates, want 4", got.Count)
+	}
+	if len(quars) != 1 || quars[0].ClientID != 9 || quars[0].Round != 2 {
+		t.Fatalf("outlier not quarantined: %+v", quars)
+	}
+	if !strings.Contains(quars[0].Reason, "shard median") || quars[0].Norm != 1e8 {
+		t.Fatalf("quarantine record incomplete: %+v", quars[0])
+	}
+	// Gate state is per round: after Finish the same outlier folds
+	// unconditionally again until a fresh quorum accumulates.
+	tree.Ingest(3, Update{Client: 9, Weight: 1, Delta: mkSparse(dim, []int32{7}, []float64{1e8})})
+	got, quars = tree.Finish()
+	if got.Count != 1 || len(quars) != 0 {
+		t.Fatalf("gate state leaked across rounds: count %d quars %+v", got.Count, quars)
+	}
+}
+
+// TestTreeBackpressure: a depth-1 queue with a stalled worker forces
+// Ingest onto the blocking path, which must be counted — and must not
+// lose updates.
+func TestTreeBackpressure(t *testing.T) {
+	const dim = 8
+	reg := obs.NewRegistry()
+	tree := NewTree(Config{Shards: 1, Dim: dim, QueueDepth: 1, Metrics: reg})
+	tree.testFoldDelay = 2 * time.Millisecond
+	defer tree.Close()
+
+	const n = 20
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tree.Ingest(0, Update{Client: c, Weight: 1, Delta: mkSparse(dim, []int32{0}, []float64{1})})
+		}()
+	}
+	wg.Wait()
+	got, _ := tree.Finish()
+	if got.Count != n {
+		t.Fatalf("backpressure lost updates: folded %d of %d", got.Count, n)
+	}
+	if bp := reg.Counter("adafl_shard_backpressure_total").Value(); bp == 0 {
+		t.Fatal("no backpressure recorded despite a stalled depth-1 queue")
+	}
+	if rc := reg.Counter(`adafl_shard_received_total{shard="0"}`).Value(); rc != n {
+		t.Fatalf("received counter = %d, want %d", rc, n)
+	}
+}
+
+// TestTreeSnapshotRestore: snapshot mid-round, replay the remainder on
+// a restored tree, and the merged result is bitwise the uninterrupted
+// run — including the norm-gate history surviving the restore.
+func TestTreeSnapshotRestore(t *testing.T) {
+	const dim = 96
+	ups := randomUpdates(30, dim, 8, 7)
+	cfg := Config{Shards: 3, Dim: dim, MaxNormMult: 50}
+
+	full := NewTree(cfg)
+	for _, u := range ups {
+		full.Ingest(0, u)
+	}
+	want, _ := full.Finish()
+	full.Close()
+
+	half := NewTree(cfg)
+	for _, u := range ups[:15] {
+		half.Ingest(0, u)
+	}
+	st := half.Snapshot()
+	half.Close()
+
+	// Round-trip the snapshot through the crash-safe checkpoint codec,
+	// as the rpc server does.
+	path := filepath.Join(t.TempDir(), "tree.ckpt")
+	if err := checkpoint.Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	var loaded TreeState
+	if err := checkpoint.Load(path, &loaded); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := NewTree(cfg)
+	defer resumed.Close()
+	if err := resumed.Restore(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range ups[15:] {
+		resumed.Ingest(0, u)
+	}
+	got, _ := resumed.Finish()
+	if got.Count != want.Count || got.WeightSum != want.WeightSum {
+		t.Fatalf("resumed scalars differ: %d/%v vs %d/%v", got.Count, got.WeightSum, want.Count, want.WeightSum)
+	}
+	for i := range want.Sum {
+		if got.Sum[i] != want.Sum[i] {
+			t.Fatalf("resumed Sum[%d] differs: %v vs %v", i, got.Sum[i], want.Sum[i])
+		}
+	}
+}
+
+// TestTreeRestoreGeometryMismatch: a snapshot from a different shard
+// count or model must be refused, not silently misfolded.
+func TestTreeRestoreGeometryMismatch(t *testing.T) {
+	tree := NewTree(Config{Shards: 2, Dim: 8})
+	defer tree.Close()
+	if err := tree.Restore(&TreeState{Shards: 3, Dim: 8}); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	if err := tree.Restore(&TreeState{Shards: 2, Dim: 9}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if err := tree.Restore(nil); err != nil {
+		t.Fatalf("nil snapshot should be a no-op: %v", err)
+	}
+}
+
+// TestValidateExactlyOncePerUpdate pins the hot-path contract: the
+// streaming ingest validates each update exactly once, malformed or
+// not, and the fold itself never re-validates.
+func TestValidateExactlyOncePerUpdate(t *testing.T) {
+	const dim = 16
+	ups := []Update{
+		{Client: 0, Weight: 1, Delta: mkSparse(dim, []int32{1}, []float64{1})},
+		{Client: 1, Weight: 1, Delta: mkSparse(dim, []int32{99}, []float64{1})}, // out of range
+		{Client: 2, Weight: 1, Delta: mkSparse(dim, []int32{2}, []float64{2})},
+	}
+	before := compress.ValidateCalls()
+	_, quars := runTree(t, Config{Shards: 2, Dim: dim}, ups)
+	if got := compress.ValidateCalls() - before; got != int64(len(ups)) {
+		t.Fatalf("ingest ran %d validations for %d updates", got, len(ups))
+	}
+	if len(quars) != 1 {
+		t.Fatalf("quarantined %d, want 1", len(quars))
+	}
+}
+
+// TestTreeMetrics: the shard-labelled instrument set reflects a round.
+func TestTreeMetrics(t *testing.T) {
+	const dim = 16
+	reg := obs.NewRegistry()
+	tree := NewTree(Config{Shards: 2, Dim: dim, Metrics: reg})
+	defer tree.Close()
+	for c := 0; c < 6; c++ {
+		tree.Ingest(0, Update{Client: c, Weight: 1, Delta: mkSparse(dim, []int32{0}, []float64{1})})
+	}
+	tree.Ingest(0, Update{Client: 6, Weight: 1, Delta: nil}) // shard 0 reject
+	tree.Finish()
+
+	r0 := reg.Counter(`adafl_shard_received_total{shard="0"}`).Value()
+	r1 := reg.Counter(`adafl_shard_received_total{shard="1"}`).Value()
+	if r0+r1 != 7 || r0 != 4 || r1 != 3 {
+		t.Fatalf("received split %d/%d, want 4/3", r0, r1)
+	}
+	if ev := reg.Counter(`adafl_shard_evicted_total{shard="0"}`).Value(); ev != 1 {
+		t.Fatalf("evicted{shard=0} = %d, want 1", ev)
+	}
+	if n := reg.Histogram(`adafl_shard_fold_seconds{shard="1"}`, FoldLatencyBuckets).Count(); n != 3 {
+		t.Fatalf("fold latency count = %d, want 3", n)
+	}
+	if n := reg.Histogram("adafl_shard_merge_seconds", obs.LatencyBuckets).Count(); n != 1 {
+		t.Fatalf("merge latency count = %d, want 1", n)
+	}
+}
+
+// TestScreenBufferedTagRoundTrip: the buffered screen preserves caller
+// tags so the rpc server can map kept items back onto connections.
+func TestScreenBufferedTagRoundTrip(t *testing.T) {
+	const dim = 8
+	items := []Item{
+		{Client: 5, Tag: 0, Upd: mkSparse(dim, []int32{1}, []float64{1})},
+		{Client: 6, Tag: 1, Upd: nil},
+		{Client: 7, Tag: 2, Upd: mkSparse(dim, []int32{2}, []float64{2})},
+	}
+	kept, quars := Screen(1, dim, 0, items, nil)
+	if len(kept) != 2 || kept[0].Tag != 0 || kept[1].Tag != 2 {
+		t.Fatalf("kept tags wrong: %+v", kept)
+	}
+	if len(quars) != 1 || quars[0].ClientID != 6 {
+		t.Fatalf("quarantine wrong: %+v", quars)
+	}
+}

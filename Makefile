@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test race chaos fuzz fleet bench bench-gemm bench-train
+.PHONY: check lint vet build test race chaos fuzz fleet bench bench-gemm bench-train bench-wire
 
 check: lint build test race
 
@@ -33,7 +33,7 @@ test:
 # layer and the shared-registry observability layer under the race
 # detector.
 race:
-	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/... ./internal/obs/... ./internal/shard/...
+	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/... ./internal/obs/... ./internal/shard/... ./internal/compress/...
 
 # The full-session fault-injection suite (stragglers, partitions, drops,
 # kill-and-restart resume) under the race detector.
@@ -41,12 +41,13 @@ chaos:
 	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/rpc/
 
 # Short fuzzing smoke over the attack surfaces: corrupted/truncated gob
-# streams and checkpoint snapshots must error, never panic, and the
-# sharded streaming aggregator must agree with the reference fold under
-# adversarial updates. CI-friendly 10s budgets; raise -fuzztime locally
-# for a deeper run.
+# and binary wire streams and checkpoint snapshots must error, never
+# panic, and the sharded streaming aggregator must agree with the
+# reference fold under adversarial updates. CI-friendly 10s budgets;
+# raise -fuzztime locally for a deeper run.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/rpc/
+	$(GO) test -run xxx -fuzz FuzzWireDecode -fuzztime 10s ./internal/rpc/
 	$(GO) test -run xxx -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run xxx -fuzz FuzzShardMerge -fuzztime 10s ./internal/shard/
 
@@ -70,4 +71,13 @@ bench-train:
 	$(GO) test -run xxx -bench 'BenchmarkConv|BenchmarkDense' -benchtime 2s -benchmem ./internal/nn/
 	$(GO) test -run xxx -bench 'BenchmarkTrainRound|BenchmarkPaperCNNTrainBatch|BenchmarkDGCEncode431k|BenchmarkTopKSelect431k' -benchtime 2s -benchmem .
 
-bench: bench-gemm bench-train
+# Wire-codec comparison: the zero-copy binary codec vs the gob baseline
+# at the micro level (bytes/op, allocs/op for sparse-update and full-model
+# frames) plus a bounded socket-fleet pair over unix sockets. BENCH_6.json
+# records the full 10k-client runs; this target is the CI-sized smoke.
+bench-wire:
+	$(GO) test -run xxx -bench 'BenchmarkWire|BenchmarkGob' -benchtime 2s -benchmem ./internal/rpc/
+	$(GO) run ./cmd/flfleet -clients 1000 -rounds 3 -dim 20000 -nnz 1000 -fleet-addr unix:/tmp/flfleet-bench.sock -wire binary -json
+	$(GO) run ./cmd/flfleet -clients 1000 -rounds 3 -dim 20000 -nnz 1000 -fleet-addr unix:/tmp/flfleet-bench.sock -wire gob -json
+
+bench: bench-gemm bench-train bench-wire

@@ -38,6 +38,7 @@ func main() {
 	retries := flag.Int("retries", 3, "consecutive failed redial attempts tolerated (budget resets once a connection makes progress)")
 	backoff := flag.Duration("retry-backoff", 200*time.Millisecond, "initial redial backoff window; doubles per attempt, each wait drawn uniformly from it (full jitter)")
 	metricsAddr := flag.String("metrics-addr", "", "listen address for the debug HTTP server (/metrics, /healthz, /debug/pprof); empty disables it")
+	wire := flag.String("wire", "binary", "wire codec: binary negotiates the zero-copy codec and falls back to gob if the server declines; gob skips negotiation")
 	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -83,7 +84,7 @@ func main() {
 		DGCMomentum:    cfg.DGCMomentum, DGCClip: cfg.DGCClip, DGCMsgClip: cfg.DGCMsgClip,
 		Seed:       *seed + 100 + uint64(*id),
 		MaxRetries: *retries, RetryBackoff: *backoff,
-		Fault: faults.Config(), Metrics: metrics,
+		Wire: *wire, Fault: faults.Config(), Metrics: metrics,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -10,13 +10,29 @@
 //	-mode buffered  buffer the whole round, then screen + fold — the
 //	                pre-shard server path (O(clients × nnz) live buffer)
 //
+// With -fleet-addr the harness leaves the in-process modes behind and
+// drives the same synthetic fleet over real sockets (internal/rpc
+// RunFleet): every client dials, registers and streams its updates
+// through the negotiated-free binary wire codec (or gob, for the
+// baseline), and the server side runs the per-connection reader → pooled
+// payload → bounded decode/fold worker pipeline. Unix sockets scale past
+// the ~28k ephemeral-port ceiling of tcp loopback; the open-file soft
+// limit is raised to the hard limit at startup (a 10k-client run needs
+// two fds per client). Where one process's file table cannot hold both
+// socket ends, -fleet-role splits the run: a "server" process waits for
+// "clients" processes (each driving [offset, offset+clients)) to dial
+// in, halving the per-process descriptor load. BENCH_6.json collects
+// these records.
+//
 // Peak RSS (VmHWM) is monotonic per process, so run one mode per
 // invocation when comparing memory; BENCH_5.json collects one JSON
 // object (-json) per configuration.
 //
-// Example:
+// Examples:
 //
 //	flfleet -clients 10000 -shards 8 -rounds 5 -dim 20000 -nnz 1000 -json
+//	flfleet -clients 10000 -rounds 5 -dim 20000 -nnz 1000 \
+//	        -fleet-addr unix:/tmp/flfleet.sock -wire binary -json
 package main
 
 import (
@@ -33,8 +49,8 @@ import (
 	"time"
 
 	"adafl/internal/compress"
+	"adafl/internal/rpc"
 	"adafl/internal/shard"
-	"adafl/internal/stats"
 	"adafl/internal/tensor"
 )
 
@@ -67,8 +83,17 @@ func main() {
 	mode := flag.String("mode", "stream", "aggregation strategy: stream|buffered")
 	seed := flag.Uint64("seed", 1, "update-generation seed")
 	asJSON := flag.Bool("json", false, "emit the result as one JSON object on stdout")
+	fleetAddr := flag.String("fleet-addr", "", "drive the fleet over real sockets at this endpoint (unix:/path or tcp:host:port); empty keeps the in-process -mode harness")
+	wire := flag.String("wire", "binary", "socket-mode codec: binary (zero-copy) or gob (baseline)")
+	workers := flag.Int("workers", 0, "socket-mode decode/fold workers (0 = GOMAXPROCS)")
+	fleetRole := flag.String("fleet-role", "both", "socket-mode process role: both (server + clients in one process), server (wait for external clients), clients (dial a -fleet-role server elsewhere)")
+	fleetOffset := flag.Int("fleet-offset", 0, "first client id this clients-role process drives (its range is [offset, offset+clients))")
 	flag.Parse()
 
+	if *fleetAddr != "" {
+		runSocketFleet(*fleetAddr, *wire, *fleetRole, *workers, *clients, *rounds, *dim, *nnz, *queue, *fleetOffset, *seed, *asJSON)
+		return
+	}
 	if *mode != "stream" && *mode != "buffered" {
 		log.Fatalf("flfleet: unknown -mode %q (want stream or buffered)", *mode)
 	}
@@ -153,10 +178,75 @@ func main() {
 		float64(res.PeakHeapInuse)/1e6, res.VmHWMKB, res.GlobalChecksum)
 }
 
+// runSocketFleet is the -fleet-addr path: the same synthetic fleet, but
+// every update crosses a real socket through the selected wire codec.
+// The role splits the fleet across processes when one file table cannot
+// hold both socket ends: "server" waits for -fleet-role clients
+// processes to dial in; "both" (the default) keeps everything local.
+func runSocketFleet(endpoint, wire, role string, workers, clients, rounds, dim, nnz, queue, offset int, seed uint64, asJSON bool) {
+	network, addr, ok := strings.Cut(endpoint, ":")
+	if !ok || (network != "unix" && network != "tcp") || addr == "" {
+		log.Fatalf("flfleet: -fleet-addr %q: want unix:/path or tcp:host:port", endpoint)
+	}
+	// Descriptor budget by role: "both" holds both ends of every
+	// connection, the split roles one end each.
+	need := uint64(clients) + 64
+	if role == "both" {
+		need = uint64(clients)*2 + 64
+	}
+	if limit := raiseNoFile(); limit > 0 && need > limit {
+		log.Printf("flfleet: warning: role %s with %d clients needs ~%d fds, open-file limit is %d",
+			role, clients, need, limit)
+	}
+	cfg := rpc.FleetConfig{
+		Network: network, Addr: addr, Wire: wire,
+		Clients: clients, Rounds: rounds, Dim: dim, Nnz: nnz,
+		// log.Printf writes to stderr, so -json keeps a clean stdout.
+		Workers: workers, Queue: queue, Seed: seed, Logf: log.Printf,
+	}
+	switch role {
+	case "clients":
+		if err := rpc.RunFleetClients(cfg, offset, offset+clients); err != nil {
+			log.Fatalf("flfleet: fleet clients: %v", err)
+		}
+		return
+	case "server":
+		cfg.ExternalClients = true
+	case "both":
+	default:
+		log.Fatalf("flfleet: unknown -fleet-role %q (want both, server or clients)", role)
+	}
+	if network == "unix" {
+		os.Remove(addr) // a previous run's leftover socket file blocks Listen
+	}
+	res, err := rpc.RunFleet(cfg)
+	if err != nil {
+		log.Fatalf("flfleet: socket fleet: %v", err)
+	}
+	out := struct {
+		rpc.FleetResult
+		VmHWMKB int `json:"vm_hwm_kb"`
+	}{*res, readVmHWM()}
+	if asJSON {
+		if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("flfleet sockets (%s, %s): %d clients x %d rounds (dim=%d nnz=%d workers=%d)\n",
+		out.Network, out.Wire, out.Clients, out.Rounds, out.Dim, out.Nnz, out.Workers)
+	fmt.Printf("  %.0f updates/s  %.1f bytes/update  %.2f allocs/update\n",
+		out.UpdatesPerSec, out.BytesPerUpdate, out.AllocsPerUpdate)
+	fmt.Printf("  up %.1f MB  down %.1f MB  VmHWM %d KB  checksum %.6g\n",
+		float64(out.BytesUp)/1e6, float64(out.BytesDown)/1e6, out.VmHWMKB, out.Checksum)
+}
+
 // produce generates one round of synthetic client updates across
 // GOMAXPROCS producer goroutines and hands each to sink. Every update is
-// a fresh allocation, as it would be arriving off the wire; generation
-// is deterministic in (seed, round, client).
+// a fresh allocation, as it would be arriving off the wire; generation is
+// deterministic in (seed, round, client) — rpc.FleetUpdate, the same
+// scheme the socket fleet uses, so checksums are comparable across the
+// in-process and socket harnesses.
 func produce(clients int, seed uint64, round, dim, nnz int, sink func(id int, u *compress.Sparse)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > clients {
@@ -170,16 +260,8 @@ func produce(clients int, seed uint64, round, dim, nnz int, sink func(id int, u 
 		go func(lo, hi int) {
 			defer wg.Done()
 			for id := lo; id < hi; id++ {
-				rng := stats.NewRNG(seed ^ uint64(round)*0x9e3779b97f4a7c15 ^ uint64(id)*0xbf58476d1ce4e5b9)
-				u := &compress.Sparse{
-					Dim:     dim,
-					Indices: make([]int32, nnz),
-					Values:  make([]float64, nnz),
-				}
-				for i := 0; i < nnz; i++ {
-					u.Indices[i] = int32(rng.Intn(dim))
-					u.Values[i] = rng.NormScaled(0, 0.01)
-				}
+				u := &compress.Sparse{}
+				rpc.FleetUpdate(u, seed, round, id, dim, nnz)
 				sink(id, u)
 			}
 		}(lo, hi)

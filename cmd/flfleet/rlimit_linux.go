@@ -1,0 +1,25 @@
+//go:build linux
+
+package main
+
+import "syscall"
+
+// raiseNoFile lifts the open-file soft limit to the hard limit and
+// returns the resulting limit (0 when it cannot be read). A socket fleet
+// needs two descriptors per simulated client — both ends live in this
+// process — so the default soft limit of 1024 would cap the fleet at
+// ~500 clients.
+func raiseNoFile() uint64 {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+			// Keep the old soft limit; the caller warns if it is too low.
+			syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
+		}
+	}
+	return rl.Cur
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package main
+
+// raiseNoFile is the non-Linux stub: no rlimit bump, unknown limit.
+func raiseNoFile() uint64 { return 0 }

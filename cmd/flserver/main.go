@@ -45,6 +45,7 @@ func main() {
 	shards := flag.Int("shards", 0, "stream arriving updates through this many aggregation shards (constant server memory; 0 = buffered single-shot aggregation)")
 	metricsAddr := flag.String("metrics-addr", "", "listen address for the debug HTTP server (/metrics, /healthz, /debug/pprof); empty disables it")
 	eventLog := flag.String("event-log", "", "append one JSON line per round event (selection, update, evict, quarantine, aggregate, round, checkpoint) to this file; empty disables it")
+	wire := flag.String("wire", "binary", "wire codec policy: binary accepts both codecs (clients negotiate at connect time), gob declines binary preambles so every session speaks gob")
 	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -98,8 +99,8 @@ func main() {
 		Cfg: cfg, NewModel: newModel, Test: test, EvalEvery: 1,
 		StragglerTimeout: *straggler, MinClients: *minClients,
 		CheckpointDir: *ckptDir, Resume: *resume, MaxUpdateNorm: *maxNorm,
-		Shards: *shards,
-		Fault:  faults.Config(), Metrics: metrics, Events: events,
+		Shards: *shards, Wire: *wire,
+		Fault: faults.Config(), Metrics: metrics, Events: events,
 	})
 	if err != nil {
 		log.Fatal(err)

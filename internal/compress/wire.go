@@ -1,0 +1,204 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary wire layout for a Sparse message (all integers little-endian):
+//
+//	u32 dim
+//	u32 nnz
+//	u8  flags        bit0: dense identity — indices 0..dim-1 are implied
+//	                 and the index run is omitted
+//	[nnz × u32]      indices (absent when the dense-identity bit is set)
+//	nnz × f64        values
+//
+// Values travel as float64 so a binary session is bit-identical to a gob
+// session: the accounting layer (WireBytes) keeps charging float32 per
+// coordinate, matching the paper's 4-byte parameters, but the simulator's
+// arithmetic must not change with the codec. The layout is owned here so
+// internal/rpc (the envelope codec) and any future mmap'd spill format
+// agree on it.
+
+// sparseFlagDense marks the dense-identity layout (index run omitted).
+const sparseFlagDense = 1
+
+// sparseBinaryHeader is the fixed prefix: dim + nnz + flags.
+const sparseBinaryHeader = 4 + 4 + 1
+
+// SparseBinarySize bounds the binary encoding of an nnz-element sparse
+// vector with explicit indices (the dense-identity form is smaller).
+// Fleet-scale receivers size their frame caps and payload pools from it.
+func SparseBinarySize(nnz int) int { return sparseBinaryHeader + 12*nnz }
+
+// ErrBinaryTruncated reports a sparse binary payload shorter than its own
+// header claims. It is the clean-truncation error the fault injector's
+// mid-message cut must surface as.
+var ErrBinaryTruncated = fmt.Errorf("%w: truncated binary payload", ErrMalformed)
+
+// denseIdentity reports whether Indices is exactly 0..Dim-1, the shape
+// NewSparseDense produces; such a message omits its index run on the wire.
+func (s *Sparse) denseIdentity() bool {
+	if len(s.Indices) != s.Dim {
+		return false
+	}
+	for i, idx := range s.Indices {
+		if int(idx) != i {
+			return false
+		}
+	}
+	return true
+}
+
+// BinaryWireSize returns the exact encoded size of AppendBinary's output.
+func (s *Sparse) BinaryWireSize() int {
+	n := sparseBinaryHeader + 8*len(s.Values)
+	if !s.denseIdentity() {
+		n += 4 * len(s.Indices)
+	}
+	return n
+}
+
+// AppendBinary appends the binary encoding of s to dst and returns the
+// extended slice. It allocates only when dst lacks capacity.
+func (s *Sparse) AppendBinary(dst []byte) []byte {
+	dense := s.denseIdentity()
+	var hdr [sparseBinaryHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(s.Dim))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(s.Values)))
+	if dense {
+		hdr[8] = sparseFlagDense
+	}
+	dst = append(dst, hdr[:]...)
+	if !dense {
+		var b [4]byte
+		for _, idx := range s.Indices {
+			binary.LittleEndian.PutUint32(b[:], uint32(idx))
+			dst = append(dst, b[:]...)
+		}
+	}
+	var b [8]byte
+	for _, v := range s.Values {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// EncodeBinaryTo streams the binary encoding of s to w through chunk, a
+// caller-owned scratch buffer (len ≥ 16, ideally a few KB). Streaming
+// through a bounded chunk instead of materialising the frame keeps a
+// connection's send path allocation-free without retaining an
+// update-sized buffer per peer.
+func (s *Sparse) EncodeBinaryTo(w io.Writer, chunk []byte) error {
+	if len(chunk) < 16 {
+		return fmt.Errorf("compress: EncodeBinaryTo scratch of %d bytes, need >= 16", len(chunk))
+	}
+	dense := s.denseIdentity()
+	binary.LittleEndian.PutUint32(chunk[0:], uint32(s.Dim))
+	binary.LittleEndian.PutUint32(chunk[4:], uint32(len(s.Values)))
+	if dense {
+		chunk[8] = sparseFlagDense
+	} else {
+		chunk[8] = 0
+	}
+	if _, err := w.Write(chunk[:sparseBinaryHeader]); err != nil {
+		return err
+	}
+	if !dense {
+		for off := 0; off < len(s.Indices); {
+			n := len(s.Indices) - off
+			if m := len(chunk) / 4; n > m {
+				n = m
+			}
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint32(chunk[4*i:], uint32(s.Indices[off+i]))
+			}
+			if _, err := w.Write(chunk[:4*n]); err != nil {
+				return err
+			}
+			off += n
+		}
+	}
+	for off := 0; off < len(s.Values); {
+		n := len(s.Values) - off
+		if m := len(chunk) / 8; n > m {
+			n = m
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(chunk[8*i:], math.Float64bits(s.Values[off+i]))
+		}
+		if _, err := w.Write(chunk[:8*n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// DecodeBinaryInto decodes a sparse binary payload produced by
+// AppendBinary into s, reusing s's slices when capacity allows (the
+// zero-allocation receive path). data must be exactly one encoded
+// message. The declared nnz is validated against len(data) before any
+// allocation, so a corrupt count cannot force an oversized allocation;
+// structural validation beyond shape (index bounds versus the receiver's
+// model) stays with Sparse.Validate.
+func (s *Sparse) DecodeBinaryInto(data []byte) error {
+	if len(data) < sparseBinaryHeader {
+		return ErrBinaryTruncated
+	}
+	dim := binary.LittleEndian.Uint32(data[0:])
+	nnz := binary.LittleEndian.Uint32(data[4:])
+	flags := data[8]
+	rest := data[sparseBinaryHeader:]
+
+	if dim > math.MaxInt32 {
+		return fmt.Errorf("%w: dim %d overflows int32", ErrMalformed, dim)
+	}
+	dense := flags&sparseFlagDense != 0
+	per := 8
+	if !dense {
+		per = 12
+	}
+	if uint64(nnz)*uint64(per) != uint64(len(rest)) {
+		if uint64(nnz)*uint64(per) > uint64(len(rest)) {
+			return ErrBinaryTruncated
+		}
+		return fmt.Errorf("%w: %d trailing bytes after %d coordinates",
+			ErrMalformed, len(rest)-int(nnz)*per, nnz)
+	}
+	if dense && nnz != dim {
+		return fmt.Errorf("%w: dense flag with nnz %d != dim %d", ErrMalformed, nnz, dim)
+	}
+
+	n := int(nnz)
+	s.Dim = int(dim)
+	s.quantizedBits = 0
+	if cap(s.Indices) < n {
+		s.Indices = make([]int32, n)
+	} else {
+		s.Indices = s.Indices[:n]
+	}
+	if cap(s.Values) < n {
+		s.Values = make([]float64, n)
+	} else {
+		s.Values = s.Values[:n]
+	}
+	if dense {
+		for i := range s.Indices {
+			s.Indices[i] = int32(i)
+		}
+	} else {
+		for i := range s.Indices {
+			s.Indices[i] = int32(binary.LittleEndian.Uint32(rest[4*i:]))
+		}
+		rest = rest[4*n:]
+	}
+	for i := range s.Values {
+		s.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+	}
+	return nil
+}

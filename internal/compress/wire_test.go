@@ -1,0 +1,135 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSparseBinaryRoundTrip(t *testing.T) {
+	cases := []*Sparse{
+		{Dim: 8, Indices: []int32{0, 3, 7}, Values: []float64{1, -2, 0.5}},
+		{Dim: 5, Indices: []int32{}, Values: []float64{}},
+		{Dim: 4, Indices: []int32{2}, Values: []float64{math.Inf(1)}},
+		NewSparseDense([]float64{0.25, -0.5, 1e-300, 42}),
+	}
+	for _, want := range cases {
+		raw := want.AppendBinary(nil)
+		if len(raw) != want.BinaryWireSize() {
+			t.Errorf("BinaryWireSize %d, encoded %d bytes", want.BinaryWireSize(), len(raw))
+		}
+		var got Sparse
+		if err := got.DecodeBinaryInto(raw); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Dim != want.Dim || len(got.Indices) != len(want.Indices) {
+			t.Fatalf("shape mismatch: got %+v want %+v", got, *want)
+		}
+		for i := range want.Indices {
+			if got.Indices[i] != want.Indices[i] {
+				t.Fatalf("index %d: %d vs %d", i, got.Indices[i], want.Indices[i])
+			}
+		}
+		for i := range want.Values {
+			if math.Float64bits(got.Values[i]) != math.Float64bits(want.Values[i]) {
+				t.Fatalf("value %d: %v vs %v (not bit-identical)", i, got.Values[i], want.Values[i])
+			}
+		}
+	}
+}
+
+// TestSparseBinaryDenseOmitsIndices pins the dense-identity optimisation:
+// an identity-index message drops its index run and reconstructs it.
+func TestSparseBinaryDenseOmitsIndices(t *testing.T) {
+	dense := NewSparseDense(make([]float64, 100))
+	sparse := &Sparse{Dim: 100, Indices: make([]int32, 100), Values: make([]float64, 100)}
+	for i := range sparse.Indices {
+		sparse.Indices[i] = int32(99 - i) // same nnz, non-identity order
+	}
+	if d, s := dense.BinaryWireSize(), sparse.BinaryWireSize(); d >= s {
+		t.Fatalf("dense encoding %d bytes not smaller than explicit %d", d, s)
+	}
+	var got Sparse
+	if err := got.DecodeBinaryInto(dense.AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range got.Indices {
+		if int(idx) != i {
+			t.Fatalf("reconstructed index %d = %d", i, idx)
+		}
+	}
+}
+
+// TestSparseBinaryDecodeReuse pins the zero-allocation contract: decoding
+// into a Sparse whose slices have capacity must not allocate.
+func TestSparseBinaryDecodeReuse(t *testing.T) {
+	msg := &Sparse{Dim: 1000, Indices: make([]int32, 64), Values: make([]float64, 64)}
+	for i := range msg.Indices {
+		msg.Indices[i] = int32(i * 15)
+		msg.Values[i] = float64(i) * 0.5
+	}
+	raw := msg.AppendBinary(nil)
+	scratch := &Sparse{Indices: make([]int32, 0, 64), Values: make([]float64, 0, 64)}
+	if err := scratch.DecodeBinaryInto(raw); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := scratch.DecodeBinaryInto(raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeBinaryInto allocates %.1f per op with capacity available", allocs)
+	}
+}
+
+// TestSparseBinaryStreamMatchesAppend: the chunked streaming encoder and
+// the appending encoder must produce identical bytes, for every chunk
+// size that forces partial index/value runs.
+func TestSparseBinaryStreamMatchesAppend(t *testing.T) {
+	msg := &Sparse{Dim: 500, Indices: make([]int32, 97), Values: make([]float64, 97)}
+	for i := range msg.Indices {
+		msg.Indices[i] = int32(i * 5)
+		msg.Values[i] = float64(i) - 48.5
+	}
+	want := msg.AppendBinary(nil)
+	for _, chunkLen := range []int{16, 24, 64, 4096} {
+		var buf bytes.Buffer
+		if err := msg.EncodeBinaryTo(&buf, make([]byte, chunkLen)); err != nil {
+			t.Fatalf("chunk %d: %v", chunkLen, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("chunk %d: streamed bytes differ from AppendBinary", chunkLen)
+		}
+	}
+}
+
+func TestSparseBinaryDecodeMalformed(t *testing.T) {
+	good := (&Sparse{Dim: 8, Indices: []int32{1, 2}, Values: []float64{3, 4}}).AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":         {},
+		"short header":  good[:5],
+		"cut mid-index": good[:11],
+		"cut mid-value": good[:len(good)-3],
+		"trailing junk": append(append([]byte(nil), good...), 0xEE),
+		// nnz claims more coordinates than the payload carries: must be
+		// rejected before any allocation is sized from it.
+		"oversized nnz": func() []byte {
+			b := append([]byte(nil), good...)
+			b[4], b[5], b[6], b[7] = 0xFF, 0xFF, 0xFF, 0xFF
+			return b
+		}(),
+		"dense flag with nnz != dim": func() []byte {
+			b := append([]byte(nil), good...)
+			b[8] = sparseFlagDense
+			return b[:sparseBinaryHeader+16] // keep 2×f64 for nnz=2
+		}(),
+	}
+	for name, data := range cases {
+		var s Sparse
+		if err := s.DecodeBinaryInto(data); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}

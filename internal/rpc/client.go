@@ -63,6 +63,12 @@ type ClientConfig struct {
 	// faults (chaos testing and demos).
 	Fault *FaultConfig
 
+	// Wire selects the wire codec: "" or WireBinary requests the binary
+	// codec at connect time and falls back to gob when the server
+	// declines (one extra dial, not charged against MaxRetries); WireGob
+	// skips negotiation and speaks gob directly.
+	Wire string
+
 	// Metrics, when non-nil, receives the client's operational metrics
 	// (redials, backoff waits, local-training latency, uploads, bytes
 	// sent). Nil disables metrics at zero cost.
@@ -92,6 +98,9 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.Wire != "" && cfg.Wire != WireBinary && cfg.Wire != WireGob {
+		return nil, fmt.Errorf("rpc: unknown wire codec %q (want %q or %q)", cfg.Wire, WireBinary, WireGob)
 	}
 	sess := newClientSession(cfg)
 	// Jitter from a stream decorrelated from the batch iterator's: both
@@ -132,18 +141,53 @@ type clientSession struct {
 	codec *compress.DGC
 	res   *ClientResult
 	met   clientMetrics
+	// gobOnly is sticky across reconnects: once the server declines the
+	// binary preamble there is no point renegotiating on every redial.
+	gobOnly bool
 }
 
 func newClientSession(cfg ClientConfig) *clientSession {
 	return &clientSession{
-		cfg:   cfg,
-		model: cfg.NewModel(),
-		opt:   nn.NewSGD(cfg.LR, cfg.Momentum, 0),
-		iter:  dataset.NewIterator(cfg.Data, cfg.BatchSize, stats.NewRNG(cfg.Seed)),
-		codec: &compress.DGC{Momentum: cfg.DGCMomentum, ClipNorm: cfg.DGCClip, MsgClipFactor: cfg.DGCMsgClip},
-		res:   &ClientResult{},
-		met:   newClientMetrics(cfg.Metrics),
+		cfg:     cfg,
+		model:   cfg.NewModel(),
+		opt:     nn.NewSGD(cfg.LR, cfg.Momentum, 0),
+		iter:    dataset.NewIterator(cfg.Data, cfg.BatchSize, stats.NewRNG(cfg.Seed)),
+		codec:   &compress.DGC{Momentum: cfg.DGCMomentum, ClipNorm: cfg.DGCClip, MsgClipFactor: cfg.DGCMsgClip},
+		res:     &ClientResult{},
+		met:     newClientMetrics(cfg.Metrics),
+		gobOnly: cfg.Wire == WireGob,
 	}
+}
+
+// dial establishes a connection in the session's negotiated codec. A
+// declined binary preamble costs one immediate gob redial (the server
+// consumed the preamble as a corrupt gob stream and dropped us) and
+// downgrades the session; it is not counted against the retry budget —
+// the server is alive and answering, just older.
+func (s *clientSession) dial() (*Conn, error) {
+	cfg := s.cfg
+	var throttle *TokenBucket
+	if cfg.ThrottleUplink && cfg.UpBps > 0 {
+		throttle = NewTokenBucket(cfg.UpBps)
+	}
+	raw, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	wrapped := WrapFault(raw, cfg.Fault)
+	if !s.gobOnly {
+		if clientNegotiate(wrapped, cfg.DialTimeout) {
+			return NewBinaryConn(wrapped, throttle), nil
+		}
+		wrapped.Close()
+		s.gobOnly = true
+		cfg.Logf("client %d: server declined binary wire codec, falling back to gob", cfg.ID)
+		if raw, err = net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout); err != nil {
+			return nil, err
+		}
+		wrapped = WrapFault(raw, cfg.Fault)
+	}
+	return NewConn(wrapped, throttle), nil
 }
 
 // runOnce dials, registers and participates until shutdown (done=true) or
@@ -151,15 +195,10 @@ func newClientSession(cfg ClientConfig) *clientSession {
 // reports whether the connection got far enough to receive a message.
 func (s *clientSession) runOnce() (done, progressed bool, err error) {
 	cfg := s.cfg
-	raw, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+	conn, err := s.dial()
 	if err != nil {
 		return false, false, err
 	}
-	var throttle *TokenBucket
-	if cfg.ThrottleUplink && cfg.UpBps > 0 {
-		throttle = NewTokenBucket(cfg.UpBps)
-	}
-	conn := NewConn(WrapFault(raw, cfg.Fault), throttle)
 	// The live counter advances by delta at every upload, not only at
 	// connection close — a mid-session /metrics scrape must see traffic.
 	var counted int64
@@ -178,9 +217,14 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 		return false, false, err
 	}
 
+	// Receive scratch: env holds the current broadcast (its Round is read
+	// after the selection exchange, so the selection lands in a separate
+	// envelope; both share the connection's decode buffers, which is safe
+	// because MsgSelect carries no slice payloads).
+	var env, sel Envelope
 	for {
-		e, err := conn.Recv()
-		if err != nil {
+		e := &env
+		if err := conn.RecvInto(e); err != nil {
 			return false, progressed, fmt.Errorf("rpc: client %d recv: %w", cfg.ID, err)
 		}
 		progressed = true
@@ -226,8 +270,7 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 				return false, true, err
 			}
 			// Await the selection decision.
-			sel, err := conn.Recv()
-			if err != nil {
+			if err := conn.RecvInto(&sel); err != nil {
 				return false, true, fmt.Errorf("rpc: client %d recv select: %w", cfg.ID, err)
 			}
 			if sel.Type != MsgSelect {

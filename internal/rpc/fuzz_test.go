@@ -100,6 +100,65 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	})
 }
 
+// FuzzWireDecode is the binary-codec twin of FuzzEnvelopeDecode: frames
+// of every message type — plus truncations, bit flips and hostile length
+// prefixes — must decode or error, never panic, never allocate from a
+// corrupt declared length, on both the allocating and the scratch-reuse
+// receive paths.
+func FuzzWireDecode(f *testing.F) {
+	for _, e := range fixtureEnvelopes() {
+		raw := encodeBinaryEnvelope(f, e)
+		f.Add(raw)
+		// Truncations: mid-length-prefix, mid-header and mid-body.
+		for _, cut := range []int{2, 4, 4 + envHeaderBytes/2, len(raw) - 1} {
+			if cut > 0 && cut < len(raw) {
+				f.Add(raw[:cut])
+			}
+		}
+		// A hostile prefix: maximum declared length over a tiny body.
+		hostile := append([]byte(nil), raw...)
+		hostile[0], hostile[1], hostile[2], hostile[3] = 0xff, 0xff, 0xff, 0xff
+		f.Add(hostile)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})             // zero-length payload
+	f.Add([]byte{0x0a, 0x00, 0x00, 0x00, 0xff, 0xff}) // bad type, cut header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		c := NewBinaryConn(&byteConn{r: bytes.NewReader(data)}, nil)
+		for i := 0; i < 64; i++ {
+			e, err := c.Recv()
+			if err != nil {
+				break // error, not panic
+			}
+			// Invariants a successful decode must uphold.
+			if e.Update != nil && len(e.Update.Indices) != len(e.Update.Values) {
+				t.Fatalf("decoded sparse with %d indices, %d values", len(e.Update.Indices), len(e.Update.Values))
+			}
+		}
+		// Scratch-reuse path: same stream through RecvInto.
+		into := NewBinaryConn(&byteConn{r: bytes.NewReader(data)}, nil)
+		var env Envelope
+		for i := 0; i < 64; i++ {
+			if err := into.RecvInto(&env); err != nil {
+				break
+			}
+		}
+		// Tight cap: the declared frame size must be judged before any
+		// allocation or payload read.
+		capped := NewBinaryConn(&byteConn{r: bytes.NewReader(data)}, nil)
+		capped.SetMaxMessage(1 << 12)
+		for i := 0; i < 64; i++ {
+			if _, err := capped.Recv(); err != nil {
+				return
+			}
+		}
+	})
+}
+
 // TestConnRecvSizeCap locks in the OOM guard: a well-formed envelope
 // whose wire size exceeds the cap must fail with ErrMessageTooLarge,
 // while the same bytes decode fine under the default cap.

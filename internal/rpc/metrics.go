@@ -28,6 +28,9 @@ type serverMetrics struct {
 	clients       *obs.Gauge     // adafl_round_clients
 	selected      *obs.Gauge     // adafl_round_selected
 	received      *obs.Gauge     // adafl_round_received
+	connections   *obs.Gauge     // adafl_connections (open, registered client sockets)
+	wireBinary    *obs.Counter   // adafl_wire_messages_total{codec="binary"}
+	wireGob       *obs.Counter   // adafl_wire_messages_total{codec="gob"}
 }
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
@@ -50,6 +53,19 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		clients:       r.Gauge("adafl_round_clients"),
 		selected:      r.Gauge("adafl_round_selected"),
 		received:      r.Gauge("adafl_round_received"),
+		connections:   r.Gauge("adafl_connections"),
+		wireBinary:    r.Counter(`adafl_wire_messages_total{codec="binary"}`),
+		wireGob:       r.Counter(`adafl_wire_messages_total{codec="gob"}`),
+	}
+}
+
+// countWire attributes one received message to the connection's
+// negotiated codec, so a mixed fleet's gob-fallback share is visible.
+func (m *serverMetrics) countWire(c *Conn) {
+	if c.Codec() == WireBinary {
+		m.wireBinary.Inc()
+	} else {
+		m.wireGob.Inc()
 	}
 }
 

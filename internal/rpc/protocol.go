@@ -1,14 +1,22 @@
 // Package rpc runs AdaFL over real TCP sockets: a federation server and
-// client processes exchanging gob-encoded messages, with optional
-// token-bucket throttling to emulate constrained embedded uplinks. It
-// stands in for the paper's Raspberry Pi cluster deployment and backs the
-// cmd/flserver and cmd/flclient binaries.
+// client processes exchanging wire messages, with optional token-bucket
+// throttling to emulate constrained embedded uplinks. It stands in for
+// the paper's Raspberry Pi cluster deployment and backs the cmd/flserver
+// and cmd/flclient binaries.
+//
+// Two codecs share one message vocabulary: the versioned, length-prefixed
+// binary codec (wire.go — the zero-allocation hot path) and gob (the
+// compatibility fallback). The codec is negotiated per connection at
+// connect time, so binary-capable peers upgrade and everything else keeps
+// speaking gob.
 package rpc
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -20,7 +28,7 @@ import (
 // DefaultMaxMessageBytes caps how many wire bytes a single Recv may
 // consume. The largest legitimate message is a dense model broadcast or
 // update (a few MB for the paper's 431k-parameter CNN); the cap exists
-// so a corrupt or malicious gob length prefix cannot make the decoder
+// so a corrupt or malicious length prefix cannot make the decoder
 // allocate unbounded memory and OOM the server.
 const DefaultMaxMessageBytes = 64 << 20
 
@@ -55,7 +63,7 @@ const (
 )
 
 // Envelope is the single wire message type. Only the fields relevant to
-// the Type are populated; gob omits nil slices cheaply.
+// the Type are populated.
 type Envelope struct {
 	Type     MsgType
 	ClientID int
@@ -79,67 +87,154 @@ type Envelope struct {
 	Info string
 }
 
-// Conn wraps a net.Conn with gob codecs and byte accounting. Send and
-// Recv are individually goroutine-safe (each direction is serialised by
-// its own mutex), so the server's per-client round goroutines and a
-// concurrent shutdown path can share one Conn.
+// Conn wraps a net.Conn with one of the two codecs and byte accounting.
+// Send and Recv are individually goroutine-safe (each direction is
+// serialised by its own mutex), so the server's per-client round
+// goroutines and a concurrent shutdown path can share one Conn.
 type Conn struct {
 	raw    net.Conn
 	sendMu sync.Mutex
 	recvMu sync.Mutex
-	enc    *gob.Encoder
-	dec    *gob.Decoder
 	cw     *countingWriter
 	cr     *countingReader
+
+	// gob codec (nil on a binary connection).
+	enc *gob.Encoder
+	dec *gob.Decoder
+
+	// Binary codec state. The scratch buffers make steady-state Send and
+	// RecvInto allocation-free: frames stream out through sendHdr + chunk
+	// + bw, and decoded payloads land in connection-owned slices reused
+	// across messages.
+	binary  bool
+	maxMsg  int64
+	bw      *bufio.Writer
+	sendHdr []byte
+	chunk   []byte
+	hdr4    [4]byte
+	recvBuf []byte
+
+	recvSparse *compress.Sparse
+	recvParams []float64
+	recvDelta  []float64
 }
 
-// NewConn wraps raw. If throttle is non-nil it shapes writes. The
-// receive path is capped at DefaultMaxMessageBytes per message; see
-// SetMaxMessage.
+// NewConn wraps raw with the gob codec (the compatibility fallback). If
+// throttle is non-nil it shapes writes. The receive path is capped at
+// DefaultMaxMessageBytes per message; see SetMaxMessage.
 func NewConn(raw net.Conn, throttle *TokenBucket) *Conn {
 	cw := &countingWriter{w: raw}
 	cr := &countingReader{r: raw, limit: DefaultMaxMessageBytes}
-	var encTarget = cw
 	c := &Conn{raw: raw, cw: cw, cr: cr}
 	if throttle != nil {
-		c.enc = gob.NewEncoder(&throttledWriter{w: encTarget, tb: throttle})
+		c.enc = gob.NewEncoder(&throttledWriter{w: cw, tb: throttle})
 	} else {
-		c.enc = gob.NewEncoder(encTarget)
+		c.enc = gob.NewEncoder(cw)
 	}
 	c.dec = gob.NewDecoder(cr)
 	return c
+}
+
+// NewBinaryConn wraps raw with the binary codec. Both peers must already
+// have agreed on it (see clientNegotiate/serverNegotiate); the codec
+// itself carries no preamble.
+func NewBinaryConn(raw net.Conn, throttle *TokenBucket) *Conn {
+	return newBinaryConn(raw, throttle, defaultWireBufSize)
+}
+
+// newBinaryConn lets fleet-scale callers shrink the per-connection send
+// buffer: 10k simulated clients at the default 32KB would cost 320MB in
+// bufio alone.
+func newBinaryConn(raw net.Conn, throttle *TokenBucket, bufSize int) *Conn {
+	cw := &countingWriter{w: raw}
+	// limit stays 0: the binary codec enforces its cap exactly from the
+	// frame length prefix (maxMsg), not by counting reads.
+	cr := &countingReader{r: raw}
+	var w io.Writer = cw
+	if throttle != nil {
+		w = &throttledWriter{w: cw, tb: throttle}
+	}
+	return &Conn{
+		raw: raw, cw: cw, cr: cr,
+		binary:  true,
+		maxMsg:  DefaultMaxMessageBytes,
+		bw:      bufio.NewWriterSize(w, bufSize),
+		sendHdr: make([]byte, 0, 4+envHeaderBytes+16),
+		chunk:   make([]byte, wireChunkBytes),
+	}
+}
+
+// Codec names the connection's negotiated codec (WireBinary or WireGob).
+func (c *Conn) Codec() string {
+	if c.binary {
+		return WireBinary
+	}
+	return WireGob
 }
 
 // Send writes one envelope.
 func (c *Conn) Send(e *Envelope) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.binary {
+		if err := c.sendBinary(e); err != nil {
+			return fmt.Errorf("rpc: send %v: %w", e.Type, err)
+		}
+		return nil
+	}
 	if err := c.enc.Encode(e); err != nil {
 		return fmt.Errorf("rpc: send %v: %w", e.Type, err)
 	}
 	return nil
 }
 
-// Recv reads one envelope. A message whose wire size exceeds the
-// connection's cap (SetMaxMessage, DefaultMaxMessageBytes by default)
-// fails with ErrMessageTooLarge instead of being materialised.
+// Recv reads one envelope. The result is freshly allocated and safe to
+// retain. A message whose wire size exceeds the connection's cap
+// (SetMaxMessage, DefaultMaxMessageBytes by default) fails with
+// ErrMessageTooLarge instead of being materialised.
 func (c *Conn) Recv() (*Envelope, error) {
-	c.recvMu.Lock()
-	defer c.recvMu.Unlock()
-	c.cr.beginMessage()
-	var e Envelope
-	if err := c.dec.Decode(&e); err != nil {
-		if c.cr.capped() {
-			return nil, fmt.Errorf("%w (cap %d bytes): %v", ErrMessageTooLarge, c.cr.limit, err)
-		}
+	e := &Envelope{}
+	if err := c.recv(e, true); err != nil {
 		return nil, err
 	}
-	return &e, nil
+	return e, nil
+}
+
+// RecvInto reads one envelope into e, reusing the connection's decode
+// scratch: on a binary connection the slice fields and Update payload are
+// connection-owned and valid only until the next RecvInto on this
+// connection. This is the zero-allocation receive path; callers that
+// retain payloads across messages must use Recv or copy.
+func (c *Conn) RecvInto(e *Envelope) error { return c.recv(e, false) }
+
+func (c *Conn) recv(e *Envelope, fresh bool) error {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	if c.binary {
+		return c.recvBinary(e, fresh)
+	}
+	c.cr.beginMessage()
+	// Reset before decoding: gob omits zero-valued fields, so a reused
+	// envelope would otherwise keep stale fields from its last message.
+	*e = Envelope{}
+	if err := c.dec.Decode(e); err != nil {
+		if c.cr.capped() {
+			return fmt.Errorf("%w (cap %d bytes): %v", ErrMessageTooLarge, c.cr.limit, err)
+		}
+		return err
+	}
+	return nil
 }
 
 // SetMaxMessage overrides the per-message receive cap (bytes). n <= 0
-// disables the cap entirely.
-func (c *Conn) SetMaxMessage(n int64) { c.cr.limit = n }
+// disables the cap entirely. On the binary codec the cap is exact (the
+// declared frame size, prefix included, is judged before any payload
+// byte is read); on gob it can over-attribute up to one bufio block of
+// read-ahead (see countingReader).
+func (c *Conn) SetMaxMessage(n int64) {
+	c.maxMsg = n
+	c.cr.limit = n
+}
 
 // SetReadDeadline bounds the next Recv: a blocked read returns an error
 // once t passes. The zero time clears the deadline.
@@ -149,7 +244,9 @@ func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline
 func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
 
 // BytesSent and BytesReceived report cumulative wire volume. They are safe
-// to read while the connection is in use.
+// to read while the connection is in use. On a binary connection both
+// counts are exact per message: framing reads exactly the bytes each
+// message declares, with no decoder read-ahead.
 func (c *Conn) BytesSent() int64     { return c.cw.n.Load() }
 func (c *Conn) BytesReceived() int64 { return c.cr.n.Load() }
 
@@ -157,7 +254,7 @@ func (c *Conn) BytesReceived() int64 { return c.cr.n.Load() }
 func (c *Conn) Close() error { return c.raw.Close() }
 
 type countingWriter struct {
-	w net.Conn
+	w io.Writer
 	n atomic.Int64
 }
 
@@ -168,15 +265,17 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 }
 
 type countingReader struct {
-	r net.Conn
+	r io.Reader
 	n atomic.Int64
 
-	// Per-message accounting for the receive size cap. Only the Recv
+	// Per-message accounting for the gob receive size cap. Only the Recv
 	// goroutine touches these (serialised by recvMu): msg counts bytes
 	// consumed since beginMessage, hitCap records that the cap tripped.
 	// gob's internal buffering may attribute up to one bufio block of
 	// read-ahead to the previous message; the slack is a few KB against a
-	// cap measured in MB, irrelevant for OOM protection.
+	// cap measured in MB, irrelevant for OOM protection. The binary codec
+	// does not use this mechanism (limit stays 0): its framing makes the
+	// cap and the byte counters exact.
 	limit  int64
 	msg    int64
 	hitCap bool

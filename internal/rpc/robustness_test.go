@@ -146,7 +146,13 @@ func TestClientRejectsUnexpectedMessage(t *testing.T) {
 		if err != nil {
 			return
 		}
-		conn := NewConn(raw, nil)
+		// Negotiate like the real server so the default (binary-capable)
+		// client under test upgrades instead of stalling on the preamble.
+		conn, err := serverNegotiate(raw, true)
+		if err != nil {
+			raw.Close()
+			return
+		}
 		conn.Recv()                          // hello
 		conn.Send(&Envelope{Type: MsgScore}) // nonsense: server never sends scores
 	}()

@@ -112,6 +112,12 @@ type ServerConfig struct {
 	// summary, and checkpoint saves. The log is flushed (and fsynced)
 	// at every round boundary.
 	Events *obs.EventLog
+	// Wire selects the accepted wire codecs: "" or WireBinary sniffs each
+	// accepted connection and speaks whichever codec the client opened
+	// with (binary preamble or plain gob); WireGob declines binary
+	// preambles so every session runs the legacy gob path (binary-capable
+	// clients fall back automatically).
+	Wire string
 	// RNG, when non-nil, is the session RNG: server-side stochastic
 	// decisions must draw from it so that its position can be captured
 	// in checkpoints and resumed sessions replay identically. The
@@ -195,6 +201,13 @@ type clientConn struct {
 	id      int
 	conn    *Conn
 	samples int
+	// env is the connection's receive scratch (RecvInto): the round
+	// engine's per-client phases are strictly sequential per connection,
+	// and an update payload handed to the aggregation path is consumed
+	// before the connection's next receive (the round boundary), so one
+	// envelope per connection keeps the steady-state receive path
+	// allocation-free.
+	env Envelope
 }
 
 // NewServer binds the listen socket (so callers know the port before
@@ -220,6 +233,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.EvalEvery <= 0 {
 		cfg.EvalEvery = 1
+	}
+	if cfg.Wire != "" && cfg.Wire != WireBinary && cfg.Wire != WireGob {
+		return nil, fmt.Errorf("rpc: unknown wire codec %q (want %q or %q)", cfg.Wire, WireBinary, WireGob)
 	}
 	if cfg.CheckpointDir != "" {
 		// The atomic rename in checkpoint.Save needs the directory to
@@ -392,6 +408,9 @@ func (s *Server) Kill() {
 	for _, c := range conns {
 		c.conn.Close()
 	}
+	// A crash takes every connection with it; the round engine's evict
+	// path may still run for roster entries, so set rather than decrement.
+	s.met.connections.Set(0)
 }
 
 func (s *Server) isDead() bool {
@@ -419,13 +438,22 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) handshake(raw net.Conn) {
-	conn := NewConn(WrapFault(raw, s.cfg.Fault), nil)
-	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	wrapped := WrapFault(raw, s.cfg.Fault)
+	// Codec sniff under the hello deadline: a dialer that never speaks
+	// cannot pin this goroutine, and the first byte decides gob vs binary
+	// (see serverNegotiate).
+	wrapped.SetReadDeadline(time.Now().Add(helloTimeout))
+	conn, err := serverNegotiate(wrapped, s.cfg.Wire != WireGob)
+	if err != nil {
+		wrapped.Close()
+		return
+	}
 	hello, err := conn.Recv()
 	if err != nil || hello.Type != MsgHello {
 		conn.Close()
 		return
 	}
+	s.met.countWire(conn)
 	conn.SetReadDeadline(time.Time{})
 
 	s.mu.Lock()
@@ -445,6 +473,7 @@ func (s *Server) handshake(raw net.Conn) {
 		return
 	}
 	s.pending[hello.ClientID] = &clientConn{id: hello.ClientID, conn: conn, samples: hello.NumSamples}
+	s.met.connections.Add(1)
 	s.met.registrations.Inc()
 	if s.seen[hello.ClientID] {
 		s.met.reconnects.Inc()
@@ -463,6 +492,7 @@ func (s *Server) handshake(raw net.Conn) {
 		s.mu.Lock()
 		if c, ok := s.pending[hello.ClientID]; ok && c.conn == conn {
 			delete(s.pending, hello.ClientID)
+			s.met.connections.Add(-1)
 		}
 		s.mu.Unlock()
 		// If admitPending already moved it to the roster, the dead link
@@ -525,6 +555,9 @@ func (s *Server) evict(c *clientConn, round int, err error) {
 		delete(s.roster, c.id)
 		s.evictedBytes += c.conn.BytesReceived()
 		s.evictedSent += c.conn.BytesSent()
+		if !s.dead { // after Kill the gauge is already forced to 0
+			s.met.connections.Add(-1)
+		}
 	}
 	s.mu.Unlock()
 	c.conn.Close()
@@ -558,9 +591,16 @@ func (s *Server) sendTimed(c *clientConn, e *Envelope) error {
 	return c.conn.Send(e)
 }
 
+// recvTimed receives into the connection's scratch envelope (see
+// clientConn.env): the returned envelope is owned by the connection and
+// valid until its next recvTimed.
 func (s *Server) recvTimed(c *clientConn) (*Envelope, error) {
 	c.conn.SetReadDeadline(time.Now().Add(s.cfg.StragglerTimeout))
-	return c.conn.Recv()
+	if err := c.conn.RecvInto(&c.env); err != nil {
+		return nil, err
+	}
+	s.met.countWire(c.conn)
+	return &c.env, nil
 }
 
 // runRound executes one federated round against the current roster. It
@@ -786,6 +826,7 @@ func (s *Server) shutdown(info string) {
 	for _, c := range conns {
 		c.conn.Send(&Envelope{Type: MsgShutdown, Info: info})
 		c.conn.Close()
+		s.met.connections.Add(-1)
 	}
 }
 

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test race chaos fuzz fleet bench bench-gemm bench-train bench-wire
+.PHONY: check lint vet build test race chaos fuzz cover fleet bench bench-gemm bench-train bench-wire
 
 check: lint build test race
 
@@ -33,7 +33,7 @@ test:
 # layer and the shared-registry observability layer under the race
 # detector.
 race:
-	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/... ./internal/obs/... ./internal/shard/... ./internal/compress/...
+	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/... ./internal/obs/... ./internal/shard/... ./internal/compress/... ./internal/scenario/...
 
 # The full-session fault-injection suite (stragglers, partitions, drops,
 # kill-and-restart resume) under the race detector.
@@ -50,6 +50,25 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzWireDecode -fuzztime 10s ./internal/rpc/
 	$(GO) test -run xxx -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run xxx -fuzz FuzzShardMerge -fuzztime 10s ./internal/shard/
+	$(GO) test -run xxx -fuzz FuzzScenarioDecode -fuzztime 10s ./internal/scenario/
+
+# Coverage floors on the scenario engine and the models it composes.
+# These packages are load-bearing *test* infrastructure — the golden
+# replay suite trusts their behaviour — so their own coverage is pinned.
+# Floors sit a few points under current numbers to absorb benign drift.
+cover:
+	@set -e; \
+	check_pkg() { \
+		pct=$$($(GO) test -cover ./internal/$$1/ | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "internal/$$1: tests failed or no coverage output"; exit 1; fi; \
+		echo "internal/$$1: $$pct% (floor $$2%)"; \
+		if ! awk -v p="$$pct" -v f="$$2" 'BEGIN { exit !(p+0 >= f+0) }'; then \
+			echo "internal/$$1: coverage $$pct% is below the $$2% floor"; exit 1; \
+		fi; \
+	}; \
+	check_pkg scenario 85; \
+	check_pkg device 90; \
+	check_pkg netsim 85
 
 # Fleet-scale aggregation smoke: a small streaming-vs-buffered pair from
 # the load harness. BENCH_5.json records the full 1k/10k-client runs and

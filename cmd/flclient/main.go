@@ -18,6 +18,7 @@ import (
 	"adafl/internal/nn"
 	"adafl/internal/obs"
 	"adafl/internal/rpc"
+	"adafl/internal/scenario"
 	"adafl/internal/stats"
 )
 
@@ -39,6 +40,7 @@ func main() {
 	backoff := flag.Duration("retry-backoff", 200*time.Millisecond, "initial redial backoff window; doubles per attempt, each wait drawn uniformly from it (full jitter)")
 	metricsAddr := flag.String("metrics-addr", "", "listen address for the debug HTTP server (/metrics, /healthz, /debug/pprof); empty disables it")
 	wire := flag.String("wire", "binary", "wire codec: binary negotiates the zero-copy codec and falls back to gob if the server declines; gob skips negotiation")
+	scenarioPath := flag.String("scenario", "", "declarative scenario file (must match the server's): shapes this client's reported bandwidth per round by its device class and the scenario's bandwidth trace")
 	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -75,11 +77,32 @@ func main() {
 		log.Printf("flclient %d: metrics at http://%s/metrics", *id, dbg.Addr())
 	}
 
+	// Under a scenario the reported bandwidth becomes a pure function of
+	// the round index — the same function the server's fleet evaluates, so
+	// both sides agree without exchanging link state.
+	var bandwidth func(round int) (float64, float64)
+	if *scenarioPath != "" {
+		sc, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			log.Fatalf("flclient %d: %v", *id, err)
+		}
+		fleet, err := scenario.NewFleet(sc, *clients)
+		if err != nil {
+			log.Fatalf("flclient %d: %v", *id, err)
+		}
+		clientID, up, down := *id, *upbps, *downbps
+		bandwidth = func(round int) (float64, float64) {
+			return fleet.LinkBandwidth(clientID, round, up, down)
+		}
+		log.Printf("flclient %d: scenario %q, class %s", *id, sc.Name, fleet.ClassName(*id))
+	}
+
 	log.Printf("flclient %d: %d local samples, dialing %s", *id, shard.Len(), *addr)
 	res, err := rpc.RunClient(rpc.ClientConfig{
 		Addr: *addr, ID: *id, Data: shard, NewModel: newModel,
 		LocalSteps: *steps, BatchSize: *batch, LR: *lr, Momentum: 0.9,
 		Utility: cfg.Utility, UpBps: *upbps, DownBps: *downbps,
+		Bandwidth:      bandwidth,
 		ThrottleUplink: *throttle,
 		DGCMomentum:    cfg.DGCMomentum, DGCClip: cfg.DGCClip, DGCMsgClip: cfg.DGCMsgClip,
 		Seed:       *seed + 100 + uint64(*id),

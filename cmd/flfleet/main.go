@@ -46,10 +46,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adafl/internal/compress"
 	"adafl/internal/rpc"
+	"adafl/internal/scenario"
 	"adafl/internal/shard"
 	"adafl/internal/tensor"
 )
@@ -88,10 +90,33 @@ func main() {
 	workers := flag.Int("workers", 0, "socket-mode decode/fold workers (0 = GOMAXPROCS)")
 	fleetRole := flag.String("fleet-role", "both", "socket-mode process role: both (server + clients in one process), server (wait for external clients), clients (dial a -fleet-role server elsewhere)")
 	fleetOffset := flag.Int("fleet-offset", 0, "first client id this clients-role process drives (its range is [offset, offset+clients))")
+	scenarioPath := flag.String("scenario", "", "declarative scenario file: its precomputed availability schedule masks which clients produce an update each round (energy depletion, churn, outages)")
 	flag.Parse()
 
+	// A scenario turns into a precomputed participation mask: the schedule
+	// is a pure function of (config, seed, round), so the harness needs no
+	// live fleet state — masked-out clients simply skip their update.
+	var mask [][]bool
+	if *scenarioPath != "" {
+		sc, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			log.Fatalf("flfleet: %v", err)
+		}
+		fleet, err := scenario.NewFleet(sc, *clients)
+		if err != nil {
+			log.Fatalf("flfleet: %v", err)
+		}
+		// 12 bytes per non-zero is the sparse wire cost; train time comes
+		// from the scenario's device classes (dim FLOPs ≈ one sample).
+		fleet.SetRoundWork(float64(*dim), 1)
+		mask, err = fleet.Schedule(*rounds, int64(12**nnz))
+		if err != nil {
+			log.Fatalf("flfleet: scenario schedule: %v", err)
+		}
+	}
+
 	if *fleetAddr != "" {
-		runSocketFleet(*fleetAddr, *wire, *fleetRole, *workers, *clients, *rounds, *dim, *nnz, *queue, *fleetOffset, *seed, *asJSON)
+		runSocketFleet(*fleetAddr, *wire, *fleetRole, *workers, *clients, *rounds, *dim, *nnz, *queue, *fleetOffset, *seed, *asJSON, mask)
 		return
 	}
 	if *mode != "stream" && *mode != "buffered" {
@@ -115,6 +140,7 @@ func main() {
 		}
 	}
 
+	var produced int64
 	start := time.Now()
 	switch *mode {
 	case "stream":
@@ -123,7 +149,7 @@ func main() {
 		})
 		defer tree.Close()
 		for r := 0; r < *rounds; r++ {
-			produce(*clients, *seed, r, *dim, *nnz, func(id int, u *compress.Sparse) {
+			produced += produce(*clients, *seed, r, *dim, *nnz, mask, func(id int, u *compress.Sparse) {
 				tree.Ingest(r, shard.Update{Client: id, Weight: 1.0 / float64(*clients), Delta: u})
 			})
 			sampleHeap()
@@ -133,11 +159,21 @@ func main() {
 	case "buffered":
 		for r := 0; r < *rounds; r++ {
 			buf := make([]shard.Item, *clients)
-			produce(*clients, *seed, r, *dim, *nnz, func(id int, u *compress.Sparse) {
+			produced += produce(*clients, *seed, r, *dim, *nnz, mask, func(id int, u *compress.Sparse) {
 				buf[id] = shard.Item{Client: id, Tag: id, Upd: u}
 			})
 			sampleHeap() // the whole round is live here — the buffered peak
-			kept, _ := shard.Screen(r, *dim, 0, buf, nil)
+			items := buf
+			if mask != nil {
+				// Masked-out slots are zero Items; compact them away.
+				items = items[:0]
+				for _, it := range buf {
+					if it.Upd != nil {
+						items = append(items, it)
+					}
+				}
+			}
+			kept, _ := shard.Screen(r, *dim, 0, items, nil)
 			part := shard.NewPartial(*dim)
 			for _, it := range kept {
 				part.Fold(shard.Update{
@@ -150,7 +186,7 @@ func main() {
 	res.WallSeconds = time.Since(start).Seconds()
 	sampleHeap()
 
-	updates := float64(*clients) * float64(*rounds)
+	updates := float64(produced)
 	// Wire-payload bytes per sparse update: int32 index + float64 value
 	// per non-zero.
 	bytesPerUpdate := float64(12 * *nnz)
@@ -183,10 +219,15 @@ func main() {
 // The role splits the fleet across processes when one file table cannot
 // hold both socket ends: "server" waits for -fleet-role clients
 // processes to dial in; "both" (the default) keeps everything local.
-func runSocketFleet(endpoint, wire, role string, workers, clients, rounds, dim, nnz, queue, offset int, seed uint64, asJSON bool) {
+func runSocketFleet(endpoint, wire, role string, workers, clients, rounds, dim, nnz, queue, offset int, seed uint64, asJSON bool, mask [][]bool) {
 	network, addr, ok := strings.Cut(endpoint, ":")
 	if !ok || (network != "unix" && network != "tcp") || addr == "" {
 		log.Fatalf("flfleet: -fleet-addr %q: want unix:/path or tcp:host:port", endpoint)
+	}
+	if mask != nil && role != "both" {
+		// A split fleet's schedule must cover the global client-id space,
+		// but each process only knows its own -clients count.
+		log.Fatal("flfleet: -scenario supports -fleet-role both only")
 	}
 	// Descriptor budget by role: "both" holds both ends of every
 	// connection, the split roles one end each.
@@ -202,7 +243,7 @@ func runSocketFleet(endpoint, wire, role string, workers, clients, rounds, dim, 
 		Network: network, Addr: addr, Wire: wire,
 		Clients: clients, Rounds: rounds, Dim: dim, Nnz: nnz,
 		// log.Printf writes to stderr, so -json keeps a clean stdout.
-		Workers: workers, Queue: queue, Seed: seed, Logf: log.Printf,
+		Workers: workers, Queue: queue, Seed: seed, Mask: mask, Logf: log.Printf,
 	}
 	switch role {
 	case "clients":
@@ -242,16 +283,18 @@ func runSocketFleet(endpoint, wire, role string, workers, clients, rounds, dim, 
 }
 
 // produce generates one round of synthetic client updates across
-// GOMAXPROCS producer goroutines and hands each to sink. Every update is
-// a fresh allocation, as it would be arriving off the wire; generation is
-// deterministic in (seed, round, client) — rpc.FleetUpdate, the same
-// scheme the socket fleet uses, so checksums are comparable across the
-// in-process and socket harnesses.
-func produce(clients int, seed uint64, round, dim, nnz int, sink func(id int, u *compress.Sparse)) {
+// GOMAXPROCS producer goroutines and hands each to sink, returning how
+// many it produced. Every update is a fresh allocation, as it would be
+// arriving off the wire; generation is deterministic in (seed, round,
+// client) — rpc.FleetUpdate, the same scheme the socket fleet uses, so
+// checksums are comparable across the in-process and socket harnesses.
+// Clients the scenario mask rules out of the round produce nothing.
+func produce(clients int, seed uint64, round, dim, nnz int, mask [][]bool, sink func(id int, u *compress.Sparse)) int64 {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > clients {
 		workers = clients
 	}
+	var count int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := clients * w / workers
@@ -259,14 +302,21 @@ func produce(clients int, seed uint64, round, dim, nnz int, sink func(id int, u 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			var n int64
 			for id := lo; id < hi; id++ {
+				if mask != nil && !mask[round][id] {
+					continue
+				}
 				u := &compress.Sparse{}
 				rpc.FleetUpdate(u, seed, round, id, dim, nnz)
 				sink(id, u)
+				n++
 			}
+			atomic.AddInt64(&count, n)
 		}(lo, hi)
 	}
 	wg.Wait()
+	return count
 }
 
 // apply folds the round partial into the running global, mirroring the

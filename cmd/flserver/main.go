@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"adafl/internal/core"
@@ -24,6 +25,7 @@ import (
 	"adafl/internal/nn"
 	"adafl/internal/obs"
 	"adafl/internal/rpc"
+	"adafl/internal/scenario"
 	"adafl/internal/stats"
 )
 
@@ -46,6 +48,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "listen address for the debug HTTP server (/metrics, /healthz, /debug/pprof); empty disables it")
 	eventLog := flag.String("event-log", "", "append one JSON line per round event (selection, update, evict, quarantine, aggregate, round, checkpoint) to this file; empty disables it")
 	wire := flag.String("wire", "binary", "wire codec policy: binary accepts both codecs (clients negotiate at connect time), gob declines binary preambles so every session speaks gob")
+	scenarioPath := flag.String("scenario", "", "declarative scenario file (energy model, churn, device classes): gates selection on availability, scales utility scores by battery level, and checkpoints scenario state for -resume")
+	scenarioLog := flag.String("scenario-log", "", "append the deterministic per-round scenario schedule (JSONL) to this file; byte-identical across runs at the same seed, unlike -event-log")
 	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -94,14 +98,39 @@ func main() {
 		}()
 	}
 
-	srv, err := rpc.NewServer(rpc.ServerConfig{
+	scfg := rpc.ServerConfig{
 		Addr: *addr, NumClients: *clients, Rounds: *rounds,
 		Cfg: cfg, NewModel: newModel, Test: test, EvalEvery: 1,
 		StragglerTimeout: *straggler, MinClients: *minClients,
 		CheckpointDir: *ckptDir, Resume: *resume, MaxUpdateNorm: *maxNorm,
 		Shards: *shards, Wire: *wire,
 		Fault: faults.Config(), Metrics: metrics, Events: events,
-	})
+	}
+	if *scenarioPath != "" {
+		sc, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			log.Fatalf("flserver: %v", err)
+		}
+		fleet, err := scenario.NewFleet(sc, *clients)
+		if err != nil {
+			log.Fatalf("flserver: %v", err)
+		}
+		// Energy accounting assumes flclient's default -steps/-batch; the
+		// transmit drain uses the real per-update wire bytes regardless.
+		fleet.SetRoundWork(newModel().FLOPsPerSample(), 4*16)
+		scfg.Scenario = fleet
+		if *scenarioLog != "" {
+			lf, err := os.OpenFile(*scenarioLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("flserver: scenario log: %v", err)
+			}
+			defer lf.Close()
+			scfg.ScenarioLog = lf
+		}
+	} else if *scenarioLog != "" {
+		log.Fatal("flserver: -scenario-log needs -scenario")
+	}
+	srv, err := rpc.NewServer(scfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,6 +22,7 @@ import (
 	"adafl/internal/fl"
 	"adafl/internal/netsim"
 	"adafl/internal/nn"
+	"adafl/internal/scenario"
 	"adafl/internal/stats"
 	"adafl/internal/trace"
 )
@@ -39,7 +40,25 @@ func main() {
 	seed := flag.Uint64("seed", 11, "experiment seed")
 	csvPath := flag.String("csv", "", "write the run history as CSV to this path")
 	tracePath := flag.String("trace", "", "bandwidth trace CSV (time,multiplier per line) applied to every odd-indexed client")
+	scenarioPath := flag.String("scenario", "", "declarative scenario file (energy model, churn, device classes); drives device profiles, availability and bandwidth for the whole run (sync methods only)")
+	scenarioLog := flag.String("scenario-log", "", "append the deterministic per-round scenario schedule (JSONL) to this file; empty writes it nowhere")
 	flag.Parse()
+
+	var fleet *scenario.Fleet
+	if *scenarioPath != "" {
+		if *async {
+			log.Fatal("flsim: -scenario drives the synchronous round loop; drop -async")
+		}
+		sc, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			log.Fatalf("flsim: %v", err)
+		}
+		var err2 error
+		fleet, err2 = scenario.NewFleet(sc, *clients)
+		if err2 != nil {
+			log.Fatalf("flsim: %v", err2)
+		}
+	}
 
 	iid := *dist == "iid"
 	ds := dataset.SynthMNIST(*samples, *imgSize, *seed)
@@ -74,8 +93,14 @@ func main() {
 	}
 	trainCfg := fl.TrainConfig{LocalSteps: 4, BatchSize: 16, LR: 0.1, Momentum: 0.9}
 	fed := fl.NewFederation(parts, test, net, newModel, trainCfg, *seed+5)
-	for _, c := range fed.Clients {
-		c.Device = c.Device.Scaled(0.002) // paper-cadence pacing, see DESIGN.md
+	if fleet != nil {
+		// The scenario owns device profiles, link speeds and traces.
+		fleet.ConfigureFederation(fed)
+		fleet.SetRoundWork(newModel().FLOPsPerSample(), trainCfg.LocalSteps*trainCfg.BatchSize)
+	} else {
+		for _, c := range fed.Clients {
+			c.Device = c.Device.Scaled(0.002) // paper-cadence pacing, see DESIGN.md
+		}
 	}
 
 	adaCfg := core.DefaultConfig()
@@ -107,6 +132,22 @@ func main() {
 			planner = core.NewSyncPlanner(adaCfg)
 		default:
 			log.Fatalf("unknown sync method %q", *method)
+		}
+		if fleet != nil {
+			if sp, ok := planner.(*core.SyncPlanner); ok {
+				sp.Eligible = fleet.Available
+				sp.ScoreMult = fleet.ScoreMult
+			}
+			wrapped := &scenario.Planner{Fleet: fleet, Inner: planner}
+			if *scenarioLog != "" {
+				lf, err := os.Create(*scenarioLog)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer lf.Close()
+				wrapped.Log = lf
+			}
+			planner = wrapped
 		}
 		e := fl.NewSyncEngine(fed, agg, planner, *seed+6)
 		e.EvalEvery = 5

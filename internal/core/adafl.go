@@ -117,6 +117,17 @@ type SyncPlanner struct {
 	// histograms (adafl_utility_score, adafl_compression_ratio).
 	Metrics *obs.Registry
 
+	// Eligible, when non-nil, restricts selection to clients it reports
+	// true for — the scenario engine's availability gate. Ineligible
+	// clients are excluded everywhere: warm-up, top-score selection, the
+	// fairness reservation and the empty-selection fallback. If no client
+	// is eligible the plan is empty and the round runs with no updates.
+	Eligible func(client int) bool
+	// ScoreMult, when non-nil, scales each client's utility score before
+	// Algorithm 1 ranks them — the scenario engine's battery-aware smart
+	// sampling (low-battery clients are deprioritised).
+	ScoreMult func(client int) float64
+
 	// lastSel records the round each client last participated, for the
 	// ExploreFrac fairness reservation.
 	lastSel []int
@@ -126,6 +137,11 @@ type SyncPlanner struct {
 func NewSyncPlanner(cfg Config) *SyncPlanner {
 	cfg.Compression.Validate()
 	return &SyncPlanner{Cfg: cfg}
+}
+
+// eligible applies the optional availability gate.
+func (p *SyncPlanner) eligible(i int) bool {
+	return p.Eligible == nil || p.Eligible(i)
 }
 
 // Plan implements fl.RoundPlanner.
@@ -141,6 +157,9 @@ func (p *SyncPlanner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
 		out := make([]fl.Participation, 0, n)
 		ratio := p.Cfg.Compression.WarmupRatio
 		for i := 0; i < n; i++ {
+			if !p.eligible(i) {
+				continue
+			}
 			out = append(out, fl.Participation{Client: i, Ratio: ratio})
 			p.RatioStats.Observe(ratio)
 			p.lastSel[i] = round
@@ -155,12 +174,21 @@ func (p *SyncPlanner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
 	scores := make([]float64, n)
 	scoreHist := p.Metrics.Histogram("adafl_utility_score", obs.ScoreBuckets)
 	for i, c := range e.Fed.Clients {
+		if !p.eligible(i) {
+			// Below any τ ≥ 0 and never the reservation's pick, so the
+			// client cannot enter the plan through either path.
+			scores[i] = math.Inf(-1)
+			continue
+		}
 		up, down := e.Fed.Net.Bandwidths(i, e.Now())
 		local := c.LastDelta
 		if local == nil {
 			local = e.LastGlobalDelta // untried client: score as aligned
 		}
 		scores[i] = p.Cfg.Utility.Score(up, down, local, e.LastGlobalDelta)
+		if p.ScoreMult != nil {
+			scores[i] *= p.ScoreMult(i)
+		}
 		scoreHist.Observe(scores[i])
 		if p.Perf != nil {
 			p.Perf.Record("utility-score",
@@ -186,7 +214,7 @@ func (p *SyncPlanner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
 		// Pick the unchosen client idle the longest (ties → lowest id).
 		best := -1
 		for i := 0; i < n; i++ {
-			if chosen[i] {
+			if chosen[i] || !p.eligible(i) {
 				continue
 			}
 			if best == -1 || p.lastSel[i] < p.lastSel[best] {
@@ -210,6 +238,9 @@ func (p *SyncPlanner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
 		ratio := p.Cfg.Compression.WarmupRatio
 		out := make([]fl.Participation, 0, n)
 		for i := 0; i < n; i++ {
+			if !p.eligible(i) {
+				continue
+			}
 			out = append(out, fl.Participation{Client: i, Ratio: ratio})
 			p.RatioStats.Observe(ratio)
 			ratioHist.Observe(ratio)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -120,6 +121,24 @@ func (tr *Trace) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// DiurnalTrace generates a raised-cosine day/night bandwidth multiplier:
+// the multiplier swings between hi (peak, at t = 0) and lo (trough, half a
+// period later), sampled into a piecewise-constant step every step seconds
+// for horizon seconds. It models the diurnal congestion wave the scenario
+// engine's bandwidth model rides on.
+func DiurnalTrace(period, lo, hi, step, horizon float64) *Trace {
+	if lo <= 0 || hi < lo || period <= 0 || step <= 0 {
+		panic("netsim: invalid diurnal parameters")
+	}
+	var steps []TraceStep
+	for t := 0.0; t < horizon; t += step {
+		phase := 2 * math.Pi * t / period
+		m := lo + (hi-lo)*(1+math.Cos(phase))/2
+		steps = append(steps, TraceStep{At: t, Multiplier: m})
+	}
+	return NewTrace(steps...)
 }
 
 // OutageTrace generates a trace that periodically collapses bandwidth to

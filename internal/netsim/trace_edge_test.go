@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Table-driven edge coverage for the trace layer the scenario engine
+// builds on: CSV parsing of malformed rows, outage boundary instants, and
+// MultiplierAt outside the stepped range.
+
+func TestParseTraceCSVEdges(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		ok    bool
+		// probe/want check one multiplier when parsing succeeds.
+		probe float64
+		want  float64
+	}{
+		{"empty file", "", true, 5, 1},
+		{"comments only", "# a\n# b\n", true, 5, 1},
+		{"blank lines only", "\n\n\n", true, 5, 1},
+		{"single row", "10,0.5\n", true, 11, 0.5},
+		{"out-of-order timestamps sorted", "20,0.25\n10,0.5\n", true, 15, 0.5},
+		{"out-of-order later step wins", "20,0.25\n10,0.5\n", true, 25, 0.25},
+		{"missing field", "10\n", false, 0, 0},
+		{"three fields", "10,0.5,extra\n", false, 0, 0},
+		{"bad time", "x,0.5\n", false, 0, 0},
+		{"bad multiplier", "10,y\n", false, 0, 0},
+		{"zero multiplier", "10,0\n", false, 0, 0},
+		{"negative multiplier", "10,-1\n", false, 0, 0},
+		{"whitespace tolerated", "  10 , 0.5  \n", true, 11, 0.5},
+	}
+	for _, c := range cases {
+		tr, err := ParseTraceCSV(strings.NewReader(c.input))
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err = %v, want ok=%v", c.name, err, c.ok)
+			continue
+		}
+		if err == nil && tr.MultiplierAt(c.probe) != c.want {
+			t.Errorf("%s: MultiplierAt(%v) = %v, want %v",
+				c.name, c.probe, tr.MultiplierAt(c.probe), c.want)
+		}
+	}
+}
+
+func TestParseTraceCSVErrorNamesLine(t *testing.T) {
+	_, err := ParseTraceCSV(strings.NewReader("1,0.5\nbroken\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not name the offending line: %v", err)
+	}
+}
+
+func TestOutageTraceBoundaryInstants(t *testing.T) {
+	// Outage every 100 s lasting 10 s at floor 0.05.
+	tr := OutageTrace(100, 10, 0.05, 300)
+	cases := []struct {
+		at   float64
+		want float64
+	}{
+		{0, 1},          // before the first outage
+		{99.999, 1},     // instant before onset
+		{100, 0.05},     // onset instant: step is inclusive at At
+		{105, 0.05},     // mid-outage
+		{109.999, 0.05}, // instant before recovery
+		{110, 1},        // recovery instant
+		{200, 0.05},     // second outage onset
+		{210, 1},        // second recovery
+		{299.999999, 1}, // end of horizon
+		{1e9, 1},        // far past the horizon: last step was a recovery
+	}
+	for _, c := range cases {
+		if got := tr.MultiplierAt(c.at); got != c.want {
+			t.Errorf("MultiplierAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestOutageTraceInvalidParamsPanic(t *testing.T) {
+	cases := []struct {
+		name                                string
+		interval, outageDur, floor, horizon float64
+	}{
+		{"zero floor", 100, 10, 0, 300},
+		{"zero interval", 0, 10, 0.05, 300},
+		{"zero duration", 100, 0, 0.05, 300},
+		{"duration >= interval", 100, 100, 0.05, 300},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			OutageTrace(c.interval, c.outageDur, c.floor, c.horizon)
+		}()
+	}
+}
+
+func TestMultiplierAtBeforeFirstAndAfterLastStep(t *testing.T) {
+	tr := NewTrace(
+		TraceStep{At: 10, Multiplier: 0.5},
+		TraceStep{At: 20, Multiplier: 2},
+	)
+	cases := []struct {
+		at   float64
+		want float64
+	}{
+		{-1e9, 1},  // far before the first step: identity
+		{9.999, 1}, // just before the first step
+		{10, 0.5},  // exactly at the first step
+		{19.999, 0.5},
+		{20, 2},  // exactly at the last step
+		{1e9, 2}, // far after the last step: last multiplier holds
+	}
+	for _, c := range cases {
+		if got := tr.MultiplierAt(c.at); got != c.want {
+			t.Errorf("MultiplierAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestDiurnalTraceShape(t *testing.T) {
+	// 100 s period between 0.2 and 1.0, stepped every second.
+	tr := DiurnalTrace(100, 0.2, 1.0, 1, 200)
+	if got := tr.MultiplierAt(0); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("peak at t=0: %v", got)
+	}
+	if got := tr.MultiplierAt(50); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("trough at half period: %v", got)
+	}
+	// Every sampled multiplier stays within [lo, hi].
+	for x := 0.0; x < 250; x += 0.7 {
+		m := tr.MultiplierAt(x)
+		if m < 0.2-1e-12 || m > 1.0+1e-12 {
+			t.Fatalf("multiplier %v at %v outside [0.2, 1.0]", m, x)
+		}
+	}
+}
+
+func TestDiurnalTraceInvalidParamsPanic(t *testing.T) {
+	cases := []struct {
+		name                     string
+		period, lo, hi, step, hz float64
+	}{
+		{"zero lo", 100, 0, 1, 1, 200},
+		{"hi below lo", 100, 1, 0.5, 1, 200},
+		{"zero period", 0, 0.2, 1, 1, 200},
+		{"zero step", 100, 0.2, 1, 0, 200},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			DiurnalTrace(c.period, c.lo, c.hi, c.step, c.hz)
+		}()
+	}
+}

@@ -36,6 +36,12 @@ type ClientConfig struct {
 	// ThrottleUplink is set.
 	UpBps, DownBps float64
 	ThrottleUplink bool
+	// Bandwidth, when non-nil, overrides the reported bandwidths per
+	// round — the scenario engine's per-class multipliers and bandwidth
+	// traces evaluate here (pure function of the round index, so server
+	// and client agree without coordination). The static UpBps still
+	// drives the uplink throttle.
+	Bandwidth func(round int) (upBps, downBps float64)
 	// DGC configures the uplink codec.
 	DGCMomentum, DGCClip, DGCMsgClip float64
 	// Seed drives batching.
@@ -262,7 +268,11 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 			delta := make([]float64, len(local))
 			tensor.SubVec(delta, local, e.Params)
 			// Utility score against the server-provided ĝ.
-			score := cfg.Utility.Score(cfg.UpBps, cfg.DownBps, delta, e.GlobalDelta)
+			up, down := cfg.UpBps, cfg.DownBps
+			if cfg.Bandwidth != nil {
+				up, down = cfg.Bandwidth(e.Round)
+			}
+			score := cfg.Utility.Score(up, down, delta, e.GlobalDelta)
 			if tensor.Norm2(e.GlobalDelta) == 0 {
 				score = 1 // warm-up: everyone reports full utility
 			}

@@ -66,6 +66,14 @@ type FleetConfig struct {
 	Queue int
 	// Seed drives deterministic update generation (FleetUpdate).
 	Seed uint64
+	// Mask optionally gates participation per round: Mask[r][id] false
+	// means client id sits round r out — it sends no update and the
+	// server does not wait for one. Produced by a scenario schedule
+	// (internal/scenario Fleet.Schedule); nil means full participation.
+	// RunFleet requires len(Mask) >= Rounds with every row covering all
+	// client ids; the client half of a split fleet must carry the same
+	// mask so both processes agree on who sits out.
+	Mask [][]bool
 	// Logf receives progress lines; nil silences them.
 	Logf func(format string, args ...interface{})
 }
@@ -207,6 +215,16 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	if cfg.Clients < 1 || cfg.Rounds < 1 || cfg.Dim < 1 || cfg.Nnz < 1 || cfg.Nnz > cfg.Dim {
 		return nil, fmt.Errorf("rpc: fleet needs clients, rounds, dim >= 1 and 1 <= nnz <= dim")
 	}
+	if cfg.Mask != nil {
+		if len(cfg.Mask) < cfg.Rounds {
+			return nil, fmt.Errorf("rpc: fleet mask covers %d rounds, need %d", len(cfg.Mask), cfg.Rounds)
+		}
+		for r := 0; r < cfg.Rounds; r++ {
+			if len(cfg.Mask[r]) < cfg.Clients {
+				return nil, fmt.Errorf("rpc: fleet mask round %d covers %d clients, need %d", r, len(cfg.Mask[r]), cfg.Clients)
+			}
+		}
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -302,13 +320,29 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	roundPart := shard.NewPartial(cfg.Dim)
 	var memMark runtime.MemStats
 	var allocMark uint64
+	var totalUpdates, firstRound int64
 	start := time.Now()
 	for r := 0; r < cfg.Rounds; r++ {
 		if err := f.broadcastSelect(r); err != nil {
 			f.abort(err)
 			return nil, f.teardown(&clientWG, &readerWG, &workerWG)
 		}
-		for i := 0; i < cfg.Clients; i++ {
+		// Under a mask the server awaits exactly the round's participants;
+		// masked-out clients stay connected but send nothing.
+		expect := cfg.Clients
+		if cfg.Mask != nil {
+			expect = 0
+			for id := 0; id < cfg.Clients; id++ {
+				if cfg.Mask[r][id] {
+					expect++
+				}
+			}
+		}
+		totalUpdates += int64(expect)
+		if r == 0 {
+			firstRound = int64(expect)
+		}
+		for i := 0; i < expect; i++ {
 			select {
 			case <-f.roundDone:
 			case <-f.aborted:
@@ -353,15 +387,14 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		Wire: cfg.Wire, Network: cfg.Network,
 		Clients: cfg.Clients, Rounds: cfg.Rounds, Dim: cfg.Dim, Nnz: cfg.Nnz,
 		Workers:     cfg.Workers,
-		Updates:     int64(cfg.Clients) * int64(cfg.Rounds),
+		Updates:     totalUpdates,
 		WallSeconds: wall.Seconds(),
 		BytesUp:     f.uplink(),
 		BytesDown:   f.downlink(),
 	}
 	res.UpdatesPerSec = float64(res.Updates) / res.WallSeconds
 	res.BytesPerUpdate = float64(res.BytesUp-helloBytes) / float64(res.Updates)
-	if cfg.Rounds > 1 {
-		steady := int64(cfg.Clients) * int64(cfg.Rounds-1)
+	if steady := totalUpdates - firstRound; cfg.Rounds > 1 && steady > 0 {
 		res.AllocsPerUpdate = float64(memMark.Mallocs-allocMark) / float64(steady)
 	} else {
 		res.AllocsPerUpdate = math.NaN()
@@ -592,6 +625,9 @@ func (f *fleetRun) client(id int, dialSem chan struct{}) error {
 		}
 		switch env.Type {
 		case MsgSelect:
+			if !maskAllows(f.cfg.Mask, env.Round, id) {
+				continue // sitting this round out per the scenario mask
+			}
 			FleetUpdate(upd, f.cfg.Seed, env.Round, id, f.cfg.Dim, f.cfg.Nnz)
 			if err := conn.Send(&Envelope{Type: MsgUpdate, ClientID: id, Round: env.Round, Update: upd}); err != nil {
 				return err
@@ -666,6 +702,14 @@ func RunFleetClients(cfg FleetConfig, lo, hi int) error {
 	}
 	wg.Wait()
 	return f.failed()
+}
+
+// maskAllows reports whether client id participates in round r under the
+// optional availability mask; a nil mask or an out-of-range index means
+// full participation (split-fleet client processes may carry no mask
+// rows beyond the rounds the server validated).
+func maskAllows(mask [][]bool, r, id int) bool {
+	return mask == nil || r >= len(mask) || id >= len(mask[r]) || mask[r][id]
 }
 
 // dialRetry absorbs transient dial failures (listener backlog overruns

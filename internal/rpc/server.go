@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net"
@@ -17,6 +18,7 @@ import (
 	"adafl/internal/dataset"
 	"adafl/internal/nn"
 	"adafl/internal/obs"
+	"adafl/internal/scenario"
 	"adafl/internal/shard"
 	"adafl/internal/stats"
 	"adafl/internal/tensor"
@@ -118,6 +120,22 @@ type ServerConfig struct {
 	// preambles so every session runs the legacy gob path (binary-capable
 	// clients fall back automatically).
 	Wire string
+	// Scenario, when non-nil, overlays a declarative fleet scenario on
+	// the session: per-round availability (diurnal waves, correlated
+	// regional outages, battery depletion) gates selection, each
+	// delivered update drains its client's battery by the round's
+	// training time and transmitted bytes, and battery level scales the
+	// utility score before Algorithm 1 ranks it. The fleet's state joins
+	// the session checkpoint so -resume rejoins the schedule
+	// mid-scenario. The round loop drives the fleet single-threadedly;
+	// callers must not touch it while Run is live.
+	Scenario *scenario.Fleet
+	// ScenarioLog, when non-nil, receives one deterministic JSONL record
+	// per round describing the scenario schedule (availability,
+	// depletions, outages, battery levels). Unlike the wall-clock-stamped
+	// event log, these lines are byte-identical across runs of the same
+	// scenario — the observable the golden replay tests compare.
+	ScenarioLog io.Writer
 	// RNG, when non-nil, is the session RNG: server-side stochastic
 	// decisions must draw from it so that its position can be captured
 	// in checkpoints and resumed sessions replay identically. The
@@ -322,6 +340,22 @@ func (s *Server) Run() (*ServerResult, error) {
 					s.listener.Close()
 					return nil, fmt.Errorf("rpc: resume from %s: %w", s.checkpointPath(), err)
 				}
+			}
+			if s.cfg.Scenario != nil {
+				if snap.Scenario != nil {
+					// A snapshot from a different scenario (name, seed or
+					// fleet size) is refused: continuing would splice two
+					// unrelated schedules together and the replayed run
+					// would diverge from an uninterrupted one.
+					if err := s.cfg.Scenario.Restore(snap.Scenario); err != nil {
+						s.listener.Close()
+						return nil, fmt.Errorf("rpc: resume from %s: %w", s.checkpointPath(), err)
+					}
+				} else {
+					s.cfg.Logf("server: resume: snapshot has no scenario state; energy accounting restarts from the scenario's initial conditions")
+				}
+			} else if snap.Scenario != nil {
+				s.cfg.Logf("server: resume: ignoring scenario state %q in snapshot (no -scenario configured)", snap.Scenario.Name)
 			}
 			s.cfg.Logf("server: resumed session at round %d (%d rounds restored, final acc so far %.3f)",
 				startRound+1, len(snap.History), snap.FinalAcc)
@@ -611,6 +645,12 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 	global, globalDelta []float64) RoundRecord {
 	rec := RoundRecord{Round: round, TestAcc: nan()}
 	roundStart := time.Now()
+	if s.cfg.Scenario != nil {
+		// Advance the scenario clock first: availability and battery
+		// state for this round are fixed here, before any network I/O,
+		// so the schedule cannot depend on message timing.
+		s.cfg.Scenario.BeginRound(round)
+	}
 	roster := s.snapshotRoster()
 	rec.Clients = len(roster)
 	totalSamples := 0
@@ -659,6 +699,20 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 		alive = append(alive, r.c)
 	}
 	s.met.scoreSec.Observe(time.Since(roundStart).Seconds())
+
+	// Scenario gate: clients the scenario has offline this round cannot
+	// be selected (they stay connected and receive a ratio-0 select, the
+	// protocol's existing not-selected path), and battery level scales
+	// the remaining scores so low-battery clients are deprioritised.
+	if sc := s.cfg.Scenario; sc != nil {
+		for id := range scores {
+			if !sc.Available(id) {
+				delete(scores, id)
+				continue
+			}
+			scores[id] *= sc.ScoreMult(id)
+		}
+	}
 
 	// Phase 3+4: selection, then concurrent notify + update collection.
 	plan := sel.plan(round, scores)
@@ -728,6 +782,11 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 		}
 		if r.upd != nil {
 			connByID[r.c.id] = r.c
+			if sc := s.cfg.Scenario; sc != nil {
+				// Energy accounting: one round of training plus the
+				// update's wire bytes, against the client's class battery.
+				sc.Account(r.c.id, sc.TrainSeconds(r.c.id), int64(r.upd.WireBytes()))
+			}
 			s.cfg.Events.Emit(obs.Event{Type: "update", Round: round, Client: r.c.id, Bytes: int64(r.upd.WireBytes())})
 			if s.tree != nil {
 				s.tree.Ingest(round, shard.Update{
@@ -808,6 +867,12 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 		Clients: rec.Clients, Selected: rec.Selected, Received: rec.Received,
 		Evicted: rec.Evicted, Quarantined: rec.Quarantined, Bytes: rec.Bytes,
 		Acc: obs.AccValue(rec.TestAcc)})
+	if sc := s.cfg.Scenario; sc != nil {
+		if err := sc.EmitRound(s.cfg.ScenarioLog, round); err != nil {
+			s.cfg.Logf("server: round %d: scenario log write failed: %v", round+1, err)
+		}
+		sc.RecordMetrics(s.cfg.Metrics)
+	}
 	return rec
 }
 
@@ -857,6 +922,10 @@ type sessionSnapshot struct {
 	// is pinning the shard count: a resume under a different -shards
 	// value is refused rather than silently re-routing clients.
 	ShardState *shard.TreeState
+	// Scenario is the fleet-scenario state (battery levels, depletion
+	// latches, integration clock) as of the completed round; nil when the
+	// session runs without a scenario. Older snapshots decode with nil.
+	Scenario *scenario.State
 }
 
 func (s *Server) checkpointPath() string {
@@ -873,6 +942,10 @@ func (s *Server) saveCheckpoint(round int, global, globalDelta []float64,
 	if s.tree != nil {
 		treeState = s.tree.Snapshot()
 	}
+	var scenState *scenario.State
+	if s.cfg.Scenario != nil {
+		scenState = s.cfg.Scenario.Snapshot()
+	}
 	return checkpoint.SaveSized(s.checkpointPath(), &sessionSnapshot{
 		CompletedRound:  round,
 		ParamDim:        len(global),
@@ -888,6 +961,7 @@ func (s *Server) saveCheckpoint(round int, global, globalDelta []float64,
 		FinalAcc:        res.FinalAcc,
 		RNG:             s.cfg.RNG,
 		ShardState:      treeState,
+		Scenario:        scenState,
 	})
 }
 

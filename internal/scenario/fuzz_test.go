@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+// FuzzScenarioDecode throws hostile, truncated and NaN-valued inputs at
+// the config parser: Parse must never panic, every rejection must carry a
+// typed error (ErrSyntax or ErrInvalid), and any accepted config must
+// instantiate into a fleet and survive a few rounds without panicking —
+// the config layer is the scenario engine's only untrusted input.
+func FuzzScenarioDecode(f *testing.F) {
+	f.Add([]byte(minimal()))
+	for _, path := range []string{
+		"../../examples/scenarios/diurnal.json",
+		"../../examples/scenarios/regional-outage.json",
+	} {
+		if data, err := os.ReadFile(path); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"name":"t","round_seconds":1e999,"classes":[{"name":"a","weight":1}]}`))
+	f.Add([]byte(`{"name":"t","round_seconds":NaN}`))
+	f.Add([]byte(`{"name":"t","round_seconds":1,"classes":[{"name":"a","weight":1,"battery":{"capacity_j":-1}}]}`))
+	f.Add([]byte(`{"name":"t","seed":18446744073709551615,"round_seconds":0.0001,"classes":[{"name":"a","weight":1e-300}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrSyntax) && !errors.Is(err, ErrInvalid) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		// Accepted configs must be safely instantiable: the validator is
+		// the only gate between a hostile file and the round loop.
+		fleet, err := NewFleet(sc, 4)
+		if err != nil {
+			t.Fatalf("validated config rejected by NewFleet: %v", err)
+		}
+		fleet.SetRoundWork(1e6, 32)
+		for r := 0; r < 3; r++ {
+			fleet.BeginRound(r)
+			for i := 0; i < 4; i++ {
+				if fleet.Available(i) {
+					fleet.Account(i, fleet.TrainSeconds(i), 1000)
+				}
+				fleet.ScoreMult(i)
+				fleet.LinkBandwidth(i, r, 1e6, 1e6)
+			}
+			if err := fleet.EmitRound(nil, r); err != nil {
+				t.Fatalf("EmitRound: %v", err)
+			}
+		}
+		if err := fleet.Restore(fleet.Snapshot()); err != nil {
+			t.Fatalf("self snapshot does not restore: %v", err)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"io"
+
+	"adafl/internal/compress"
+	"adafl/internal/fl"
+)
+
+// ConfigureFederation applies the scenario's heterogeneous device-class
+// assignment to a simulated federation: each client gets its class's
+// compute profile (scaled by compute_scale) and its link bandwidth is
+// scaled by the class multiplier with the scenario's bandwidth trace
+// attached. Call it once after building the federation, before the first
+// round.
+func (f *Fleet) ConfigureFederation(fed *fl.Federation) {
+	for i, c := range fed.Clients {
+		if i >= f.n {
+			break
+		}
+		c.Device = f.Profile(i)
+		link := fed.Net.Link(i)
+		mult := f.sc.Classes[f.class[i]].BandwidthMult
+		link.UpBps *= mult
+		link.DownBps *= mult
+		if f.trace != nil {
+			link.Trace = f.trace
+		}
+		fed.Net.SetLink(i, link)
+	}
+}
+
+// Planner wraps a RoundPlanner with the scenario schedule: each round it
+// advances the fleet clock, lets the inner planner choose from the
+// full roster, drops participants the scenario has offline, charges each
+// remaining participant's battery for the round's training and estimated
+// uplink bytes, and emits the deterministic round log. Pair it with
+// core.SyncPlanner's Eligible/ScoreMult hooks so selection itself also
+// respects availability and battery level; the wrapper's filter is the
+// backstop that keeps scenario semantics for planners without hooks
+// (FixedRatePlanner and friends).
+type Planner struct {
+	Fleet *Fleet
+	Inner fl.RoundPlanner
+	// Log, when non-nil, receives the per-round schedule JSONL.
+	Log io.Writer
+}
+
+// Plan implements fl.RoundPlanner.
+func (p *Planner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
+	f := p.Fleet
+	f.BeginRound(round)
+	parts := p.Inner.Plan(round, e)
+	kept := parts[:0]
+	for _, part := range parts {
+		if !f.Available(part.Client) {
+			continue
+		}
+		est := int64(compress.SparseBinarySize(estimateNNZ(len(e.Global), part.Ratio)))
+		f.Account(part.Client, f.TrainSeconds(part.Client), est)
+		kept = append(kept, part)
+	}
+	f.EmitRound(p.Log, round)
+	f.RecordMetrics(e.Metrics)
+	return kept
+}
+
+// estimateNNZ is the expected sparse-update size at a compression ratio.
+func estimateNNZ(dim int, ratio float64) int {
+	if ratio <= 1 {
+		return dim
+	}
+	nnz := int(float64(dim) / ratio)
+	if nnz < 1 {
+		nnz = 1
+	}
+	return nnz
+}

@@ -1,0 +1,422 @@
+// Package scenario is the declarative fleet-condition engine: one JSON
+// file describes heterogeneous device classes with battery/energy models,
+// diurnal availability waves, correlated regional outages, and per-class
+// bandwidth shaping, and every consumer of the file — flsim, a live
+// flserver/flclient session, cmd/flfleet, and the chaos suite — replays
+// the identical schedule from the scenario seed. The whole run is
+// bit-deterministic: scenario state is a pure function of (config, seed,
+// round index, accounted drains), never of wall-clock time or runtime
+// randomness, which is what lets a killed-and-resumed session rejoin the
+// schedule mid-scenario exactly where an uninterrupted run would be.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"adafl/internal/device"
+)
+
+// Typed parse/validation errors. Parse returns errors wrapping ErrSyntax
+// when the input is not well-formed JSON for the schema, and errors
+// wrapping ErrInvalid when the JSON decoded but the values are
+// semantically unacceptable (NaN/Inf, negative weights, unknown
+// profiles, outages naming undeclared regions, ...).
+var (
+	ErrSyntax  = errors.New("scenario: syntax error")
+	ErrInvalid = errors.New("scenario: invalid config")
+)
+
+// FieldError is a validation failure pinned to a config field; it
+// unwraps to ErrInvalid.
+type FieldError struct {
+	Field  string
+	Reason string
+}
+
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("scenario: %s: %s", e.Field, e.Reason)
+}
+
+func (e *FieldError) Unwrap() error { return ErrInvalid }
+
+func fieldErr(field, format string, args ...any) error {
+	return &FieldError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Scenario is the root of the declarative config. The zero value is not
+// usable; build one with Parse/Load (which validate) or fill it in code
+// and call Validate yourself.
+type Scenario struct {
+	// Name labels metric families and log lines; restores refuse a
+	// checkpoint recorded under a different name.
+	Name string `json:"name"`
+	// Seed drives every random assignment (class mix, availability
+	// quantiles, phases, regions). Same seed, same schedule — always.
+	Seed uint64 `json:"seed"`
+	// RoundSeconds maps round indices onto the scenario clock: round r
+	// spans [r·RoundSeconds, (r+1)·RoundSeconds).
+	RoundSeconds float64 `json:"round_seconds"`
+	// BatteryScoreFloor is the utility-score multiplier of an almost-empty
+	// battery; a full battery multiplies by 1, levels interpolate
+	// linearly ("smart sampling": low-battery clients are deprioritised,
+	// not excluded, until they actually deplete). Default 0.25.
+	BatteryScoreFloor float64 `json:"battery_score_floor,omitempty"`
+	// RejoinFrac is the state-of-charge a depleted client must recharge
+	// to before it comes back online (hysteresis against flapping at
+	// 0%). Default 0.1.
+	RejoinFrac float64 `json:"rejoin_frac,omitempty"`
+	// Classes is the heterogeneous device-class mix; clients are assigned
+	// classes proportionally to Weight.
+	Classes []Class `json:"classes"`
+	// Churn describes availability over time.
+	Churn *Churn `json:"churn,omitempty"`
+	// Bandwidth shapes link bandwidth over time (applied on top of each
+	// class's static multiplier).
+	Bandwidth *Bandwidth `json:"bandwidth,omitempty"`
+}
+
+// Class is one device class in the fleet mix.
+type Class struct {
+	Name string `json:"name"`
+	// Weight is the class's share of the fleet (normalised over classes).
+	Weight float64 `json:"weight"`
+	// Profile names the compute profile: rpi3, rpi4 or workstation
+	// (default rpi4).
+	Profile string `json:"profile,omitempty"`
+	// ComputeScale multiplies the profile's throughput (default 1; 0.5 =
+	// half speed).
+	ComputeScale float64 `json:"compute_scale,omitempty"`
+	// BandwidthMult statically scales the class's link bandwidth
+	// (default 1).
+	BandwidthMult float64 `json:"bandwidth_mult,omitempty"`
+	// Battery, when present, puts the class on battery power; absent
+	// means mains.
+	Battery *BatterySpec `json:"battery,omitempty"`
+}
+
+// BatterySpec configures the energy model of a battery-powered class.
+type BatterySpec struct {
+	CapacityJ float64 `json:"capacity_j"`
+	// InitialFrac is the starting state of charge (default 1).
+	InitialFrac float64 `json:"initial_frac,omitempty"`
+	// TrainWatts is the draw during local training.
+	TrainWatts float64 `json:"train_watts"`
+	// IdleWatts is the baseline draw (default 0).
+	IdleWatts float64 `json:"idle_watts,omitempty"`
+	// TxJoulesPerMB is the uplink transmit energy per megabyte sent.
+	TxJoulesPerMB float64 `json:"tx_joules_per_mb,omitempty"`
+	// Recharge lists plug-in windows (the diurnal overnight charge).
+	Recharge []RechargeSpec `json:"recharge,omitempty"`
+}
+
+// RechargeSpec is one (possibly periodic) plug-in window.
+type RechargeSpec struct {
+	StartS  float64 `json:"start_s"`
+	EndS    float64 `json:"end_s"`
+	PeriodS float64 `json:"period_s,omitempty"`
+	Watts   float64 `json:"watts"`
+}
+
+// Churn describes time-varying availability.
+type Churn struct {
+	// Diurnal, when present, drives a fleet-wide availability wave.
+	Diurnal *Diurnal `json:"diurnal,omitempty"`
+	// Regions declares the correlated-outage groups; clients are spread
+	// over them deterministically from the seed.
+	Regions []string `json:"regions,omitempty"`
+	// Outages lists correlated regional outages; a client in the named
+	// region is offline for every round its window overlaps.
+	Outages []Outage `json:"outages,omitempty"`
+}
+
+// Diurnal is a raised-cosine availability wave: the available fraction of
+// the fleet swings between MaxFrac (peak, at t = 0) and MinFrac (trough,
+// half a period later).
+type Diurnal struct {
+	PeriodS float64 `json:"period_s"`
+	MinFrac float64 `json:"min_frac"`
+	// MaxFrac defaults to 1.
+	MaxFrac float64 `json:"max_frac,omitempty"`
+	// PhaseSpreadS jitters each client's personal phase uniformly in
+	// [-PhaseSpreadS, +PhaseSpreadS] (seeded), smearing the wave so the
+	// fleet doesn't blink in lockstep. Default 0.
+	PhaseSpreadS float64 `json:"phase_spread_s,omitempty"`
+}
+
+// Outage is one correlated regional outage window [StartS, StartS+DurationS).
+type Outage struct {
+	Region    string  `json:"region"`
+	StartS    float64 `json:"start_s"`
+	DurationS float64 `json:"duration_s"`
+}
+
+// Bandwidth shapes link bandwidth over scenario time.
+type Bandwidth struct {
+	// Trace is an explicit piecewise-constant multiplier schedule.
+	Trace []Step `json:"trace,omitempty"`
+	// Diurnal generates a raised-cosine multiplier wave instead.
+	Diurnal *BandwidthDiurnal `json:"diurnal,omitempty"`
+}
+
+// Step sets the bandwidth multiplier from AtS onward.
+type Step struct {
+	AtS  float64 `json:"at_s"`
+	Mult float64 `json:"mult"`
+}
+
+// BandwidthDiurnal generates a day/night bandwidth wave: multiplier
+// swings between MaxMult (at t = 0) and MinMult, sampled every StepS
+// seconds out to HorizonS.
+type BandwidthDiurnal struct {
+	PeriodS  float64 `json:"period_s"`
+	MinMult  float64 `json:"min_mult"`
+	MaxMult  float64 `json:"max_mult"`
+	StepS    float64 `json:"step_s"`
+	HorizonS float64 `json:"horizon_s"`
+}
+
+// Defaults applied by Validate.
+const (
+	defaultScoreFloor = 0.25
+	defaultRejoinFrac = 0.1
+	defaultProfile    = "rpi4"
+)
+
+// Profiles the config may name.
+var profiles = map[string]device.Profile{
+	"rpi3":        device.RaspberryPi3,
+	"rpi4":        device.RaspberryPi4,
+	"workstation": device.Workstation,
+}
+
+// Parse decodes and validates a scenario from JSON. Unknown fields,
+// trailing data and malformed JSON yield errors wrapping ErrSyntax;
+// semantic problems yield errors wrapping ErrInvalid. Parse never
+// panics, whatever the input.
+func Parse(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after scenario object", ErrSyntax)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// Load reads and validates a scenario file.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate checks the config semantically and fills in defaults
+// (BatteryScoreFloor, RejoinFrac, class profile/scales, diurnal
+// MaxFrac). All errors wrap ErrInvalid.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fieldErr("name", "required")
+	}
+	if !finite(sc.RoundSeconds) || sc.RoundSeconds <= 0 {
+		return fieldErr("round_seconds", "must be positive and finite, got %v", sc.RoundSeconds)
+	}
+	if sc.BatteryScoreFloor == 0 {
+		sc.BatteryScoreFloor = defaultScoreFloor
+	}
+	if !finite(sc.BatteryScoreFloor) || sc.BatteryScoreFloor < 0 || sc.BatteryScoreFloor > 1 {
+		return fieldErr("battery_score_floor", "must be in [0, 1], got %v", sc.BatteryScoreFloor)
+	}
+	if sc.RejoinFrac == 0 {
+		sc.RejoinFrac = defaultRejoinFrac
+	}
+	if !finite(sc.RejoinFrac) || sc.RejoinFrac < 0 || sc.RejoinFrac > 1 {
+		return fieldErr("rejoin_frac", "must be in [0, 1], got %v", sc.RejoinFrac)
+	}
+	if len(sc.Classes) == 0 {
+		return fieldErr("classes", "at least one class required")
+	}
+	var weight float64
+	for i := range sc.Classes {
+		if err := sc.Classes[i].validate(i); err != nil {
+			return err
+		}
+		weight += sc.Classes[i].Weight
+	}
+	if weight <= 0 {
+		return fieldErr("classes", "total weight must be positive")
+	}
+	if sc.Churn != nil {
+		if err := sc.Churn.validate(); err != nil {
+			return err
+		}
+	}
+	if sc.Bandwidth != nil {
+		if err := sc.Bandwidth.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Class) validate(i int) error {
+	field := func(f string) string { return fmt.Sprintf("classes[%d].%s", i, f) }
+	if c.Name == "" {
+		return fieldErr(field("name"), "required")
+	}
+	if !finite(c.Weight) || c.Weight <= 0 {
+		return fieldErr(field("weight"), "must be positive and finite, got %v", c.Weight)
+	}
+	if c.Profile == "" {
+		c.Profile = defaultProfile
+	}
+	if _, ok := profiles[c.Profile]; !ok {
+		return fieldErr(field("profile"), "unknown profile %q (want rpi3, rpi4 or workstation)", c.Profile)
+	}
+	if c.ComputeScale == 0 {
+		c.ComputeScale = 1
+	}
+	if !finite(c.ComputeScale) || c.ComputeScale <= 0 {
+		return fieldErr(field("compute_scale"), "must be positive and finite, got %v", c.ComputeScale)
+	}
+	if c.BandwidthMult == 0 {
+		c.BandwidthMult = 1
+	}
+	if !finite(c.BandwidthMult) || c.BandwidthMult <= 0 {
+		return fieldErr(field("bandwidth_mult"), "must be positive and finite, got %v", c.BandwidthMult)
+	}
+	if c.Battery != nil {
+		if err := c.Battery.validate(field("battery")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *BatterySpec) validate(field string) error {
+	if !finite(b.CapacityJ) || b.CapacityJ <= 0 {
+		return fieldErr(field+".capacity_j", "must be positive and finite, got %v", b.CapacityJ)
+	}
+	if b.InitialFrac == 0 {
+		b.InitialFrac = 1
+	}
+	if !finite(b.InitialFrac) || b.InitialFrac < 0 || b.InitialFrac > 1 {
+		return fieldErr(field+".initial_frac", "must be in [0, 1], got %v", b.InitialFrac)
+	}
+	for name, v := range map[string]float64{
+		"train_watts":      b.TrainWatts,
+		"idle_watts":       b.IdleWatts,
+		"tx_joules_per_mb": b.TxJoulesPerMB,
+	} {
+		if !finite(v) || v < 0 {
+			return fieldErr(field+"."+name, "must be non-negative and finite, got %v", v)
+		}
+	}
+	for i, r := range b.Recharge {
+		w := r.window()
+		if err := w.Validate(); err != nil {
+			return fieldErr(fmt.Sprintf("%s.recharge[%d]", field, i), "%v", err)
+		}
+	}
+	return nil
+}
+
+func (r RechargeSpec) window() device.RechargeWindow {
+	return device.RechargeWindow{StartS: r.StartS, EndS: r.EndS, PeriodS: r.PeriodS, Watts: r.Watts}
+}
+
+func (c *Churn) validate() error {
+	if c.Diurnal != nil {
+		d := c.Diurnal
+		if d.MaxFrac == 0 {
+			d.MaxFrac = 1
+		}
+		if !finite(d.PeriodS) || d.PeriodS <= 0 {
+			return fieldErr("churn.diurnal.period_s", "must be positive and finite, got %v", d.PeriodS)
+		}
+		if !finite(d.MinFrac) || d.MinFrac < 0 || d.MinFrac > 1 {
+			return fieldErr("churn.diurnal.min_frac", "must be in [0, 1], got %v", d.MinFrac)
+		}
+		if !finite(d.MaxFrac) || d.MaxFrac < d.MinFrac || d.MaxFrac > 1 {
+			return fieldErr("churn.diurnal.max_frac", "must be in [min_frac, 1], got %v", d.MaxFrac)
+		}
+		if !finite(d.PhaseSpreadS) || d.PhaseSpreadS < 0 {
+			return fieldErr("churn.diurnal.phase_spread_s", "must be non-negative and finite, got %v", d.PhaseSpreadS)
+		}
+	}
+	regions := make(map[string]bool, len(c.Regions))
+	for i, r := range c.Regions {
+		if r == "" {
+			return fieldErr(fmt.Sprintf("churn.regions[%d]", i), "empty region name")
+		}
+		if regions[r] {
+			return fieldErr(fmt.Sprintf("churn.regions[%d]", i), "duplicate region %q", r)
+		}
+		regions[r] = true
+	}
+	for i, o := range c.Outages {
+		field := fmt.Sprintf("churn.outages[%d]", i)
+		if !regions[o.Region] {
+			return fieldErr(field+".region", "outage names undeclared region %q", o.Region)
+		}
+		if !finite(o.StartS) || o.StartS < 0 {
+			return fieldErr(field+".start_s", "must be non-negative and finite, got %v", o.StartS)
+		}
+		if !finite(o.DurationS) || o.DurationS <= 0 {
+			return fieldErr(field+".duration_s", "must be positive and finite, got %v", o.DurationS)
+		}
+	}
+	return nil
+}
+
+func (b *Bandwidth) validate() error {
+	if len(b.Trace) > 0 && b.Diurnal != nil {
+		return fieldErr("bandwidth", "trace and diurnal are mutually exclusive")
+	}
+	for i, s := range b.Trace {
+		field := fmt.Sprintf("bandwidth.trace[%d]", i)
+		if !finite(s.AtS) || s.AtS < 0 {
+			return fieldErr(field+".at_s", "must be non-negative and finite, got %v", s.AtS)
+		}
+		if !finite(s.Mult) || s.Mult <= 0 {
+			return fieldErr(field+".mult", "must be positive and finite, got %v", s.Mult)
+		}
+	}
+	if d := b.Diurnal; d != nil {
+		if !finite(d.PeriodS) || d.PeriodS <= 0 {
+			return fieldErr("bandwidth.diurnal.period_s", "must be positive and finite, got %v", d.PeriodS)
+		}
+		if !finite(d.MinMult) || d.MinMult <= 0 {
+			return fieldErr("bandwidth.diurnal.min_mult", "must be positive and finite, got %v", d.MinMult)
+		}
+		if !finite(d.MaxMult) || d.MaxMult < d.MinMult {
+			return fieldErr("bandwidth.diurnal.max_mult", "must be >= min_mult and finite, got %v", d.MaxMult)
+		}
+		if !finite(d.StepS) || d.StepS <= 0 {
+			return fieldErr("bandwidth.diurnal.step_s", "must be positive and finite, got %v", d.StepS)
+		}
+		if !finite(d.HorizonS) || d.HorizonS < 0 {
+			return fieldErr("bandwidth.diurnal.horizon_s", "must be non-negative and finite, got %v", d.HorizonS)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// minimal returns a valid config body for mutation in table tests.
+func minimal() string {
+	return `{
+		"name": "t", "seed": 1, "round_seconds": 60,
+		"classes": [{"name": "a", "weight": 1}]
+	}`
+}
+
+func TestParseMinimalDefaults(t *testing.T) {
+	sc, err := Parse(strings.NewReader(minimal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.BatteryScoreFloor != defaultScoreFloor {
+		t.Errorf("score floor default = %v", sc.BatteryScoreFloor)
+	}
+	if sc.RejoinFrac != defaultRejoinFrac {
+		t.Errorf("rejoin default = %v", sc.RejoinFrac)
+	}
+	c := sc.Classes[0]
+	if c.Profile != "rpi4" || c.ComputeScale != 1 || c.BandwidthMult != 1 {
+		t.Errorf("class defaults not applied: %+v", c)
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"truncated", `{"name": "t", "se`},
+		{"not json", "hello"},
+		{"unknown field", `{"name": "t", "round_seconds": 1, "classes": [{"name":"a","weight":1}], "bogus": 1}`},
+		{"trailing data", minimal() + `{"again": true}`},
+		{"nan literal", `{"name": "t", "round_seconds": NaN, "classes": []}`},
+		{"huge exponent", `{"name": "t", "round_seconds": 1e999, "classes": []}`},
+		{"wrong type", `{"name": 3}`},
+	}
+	for _, c := range cases {
+		_, err := Parse(strings.NewReader(c.input))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrSyntax) {
+			t.Errorf("%s: error %v does not wrap ErrSyntax", c.name, err)
+		}
+	}
+}
+
+func TestParseValidationErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		field string // substring the FieldError must mention
+	}{
+		{"missing name", `{"round_seconds": 1, "classes": [{"name":"a","weight":1}]}`, "name"},
+		{"zero round seconds", `{"name":"t","round_seconds": 0, "classes": [{"name":"a","weight":1}]}`, "round_seconds"},
+		{"negative round seconds", `{"name":"t","round_seconds": -5, "classes": [{"name":"a","weight":1}]}`, "round_seconds"},
+		{"no classes", `{"name":"t","round_seconds": 1, "classes": []}`, "classes"},
+		{"negative weight", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":-1}]}`, "weight"},
+		{"unknown profile", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":1,"profile":"cray"}]}`, "profile"},
+		{"negative compute scale", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":1,"compute_scale":-2}]}`, "compute_scale"},
+		{"score floor out of range", `{"name":"t","round_seconds": 1, "battery_score_floor": 2, "classes": [{"name":"a","weight":1}]}`, "battery_score_floor"},
+		{"battery no capacity", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":1,"battery":{"train_watts":1}}]}`, "capacity_j"},
+		{"battery initial frac", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":1,"battery":{"capacity_j":10,"initial_frac":3}}]}`, "initial_frac"},
+		{"recharge end before start", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":1,"battery":{"capacity_j":10,"recharge":[{"start_s":10,"end_s":5,"watts":1}]}}]}`, "recharge"},
+		{"diurnal zero period", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":1}], "churn": {"diurnal": {"period_s": 0, "min_frac": 0.5}}}`, "period_s"},
+		{"diurnal frac range", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":1}], "churn": {"diurnal": {"period_s": 10, "min_frac": 2}}}`, "min_frac"},
+		{"outage undeclared region", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":1}], "churn": {"regions": ["x"], "outages": [{"region":"y","start_s":0,"duration_s":1}]}}`, "region"},
+		{"outage zero duration", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":1}], "churn": {"regions": ["x"], "outages": [{"region":"x","start_s":0,"duration_s":0}]}}`, "duration_s"},
+		{"duplicate region", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":1}], "churn": {"regions": ["x","x"]}}`, "regions"},
+		{"bandwidth both", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":1}], "bandwidth": {"trace":[{"at_s":0,"mult":1}], "diurnal":{"period_s":1,"min_mult":1,"max_mult":1,"step_s":1,"horizon_s":1}}}`, "bandwidth"},
+		{"trace zero mult", `{"name":"t","round_seconds": 1, "classes": [{"name":"a","weight":1}], "bandwidth": {"trace":[{"at_s":0,"mult":0}]}}`, "mult"},
+	}
+	for _, c := range cases {
+		_, err := Parse(strings.NewReader(c.input))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: error %v does not wrap ErrInvalid", c.name, err)
+			continue
+		}
+		var fe *FieldError
+		if errors.As(err, &fe) && !strings.Contains(fe.Field, c.field) {
+			t.Errorf("%s: field %q does not mention %q", c.name, fe.Field, c.field)
+		}
+	}
+}
+
+func TestLoadBundledScenarios(t *testing.T) {
+	for _, path := range []string{
+		"../../examples/scenarios/diurnal.json",
+		"../../examples/scenarios/regional-outage.json",
+	} {
+		sc, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if sc.Name == "" {
+			t.Fatalf("%s: empty name", path)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/scenario.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -33,12 +33,13 @@ test:
 # layer and the shared-registry observability layer under the race
 # detector.
 race:
-	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/... ./internal/obs/... ./internal/shard/... ./internal/compress/... ./internal/scenario/...
+	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/... ./internal/obs/... ./internal/shard/... ./internal/compress/... ./internal/scenario/... ./internal/edge/...
 
 # The full-session fault-injection suite (stragglers, partitions, drops,
-# kill-and-restart resume) under the race detector.
+# kill-and-restart resume) plus the two-tier edge-kill/reroute suite under
+# the race detector.
 chaos:
-	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/rpc/
+	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/rpc/ ./internal/edge/
 
 # Short fuzzing smoke over the attack surfaces: corrupted/truncated gob
 # and binary wire streams and checkpoint snapshots must error, never
@@ -52,9 +53,9 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzShardMerge -fuzztime 10s ./internal/shard/
 	$(GO) test -run xxx -fuzz FuzzScenarioDecode -fuzztime 10s ./internal/scenario/
 
-# Coverage floors on the scenario engine and the models it composes.
-# These packages are load-bearing *test* infrastructure — the golden
-# replay suite trusts their behaviour — so their own coverage is pinned.
+# Coverage floors on the scenario engine and the models it composes, plus
+# the wire codecs, the sharded aggregation tree and the two-tier edge
+# federation — the protocol/aggregation core every session rides on.
 # Floors sit a few points under current numbers to absorb benign drift.
 cover:
 	@set -e; \
@@ -68,7 +69,10 @@ cover:
 	}; \
 	check_pkg scenario 85; \
 	check_pkg device 90; \
-	check_pkg netsim 85
+	check_pkg netsim 85; \
+	check_pkg rpc 84; \
+	check_pkg shard 76; \
+	check_pkg edge 80
 
 # Fleet-scale aggregation smoke: a small streaming-vs-buffered pair from
 # the load harness. BENCH_5.json records the full 1k/10k-client runs and

@@ -24,6 +24,14 @@
 // in, halving the per-process descriptor load. BENCH_6.json collects
 // these records.
 //
+// With -edge-bootstrap the harness instead drives the two-tier edge
+// federation (internal/edge): each client dials the root's bootstrap
+// listener, follows the MsgReroute welcome to its assigned regional edge,
+// and answers that edge's round go-aheads with deterministic synthetic
+// updates until the session shuts down. If the edge dies mid-session the
+// client falls back to the bootstrap path with full-jitter backoff and is
+// rerouted to a surviving sibling.
+//
 // Peak RSS (VmHWM) is monotonic per process, so run one mode per
 // invocation when comparing memory; BENCH_5.json collects one JSON
 // object (-json) per configuration.
@@ -50,6 +58,7 @@ import (
 	"time"
 
 	"adafl/internal/compress"
+	"adafl/internal/edge"
 	"adafl/internal/rpc"
 	"adafl/internal/scenario"
 	"adafl/internal/shard"
@@ -91,7 +100,28 @@ func main() {
 	fleetRole := flag.String("fleet-role", "both", "socket-mode process role: both (server + clients in one process), server (wait for external clients), clients (dial a -fleet-role server elsewhere)")
 	fleetOffset := flag.Int("fleet-offset", 0, "first client id this clients-role process drives (its range is [offset, offset+clients))")
 	scenarioPath := flag.String("scenario", "", "declarative scenario file: its precomputed availability schedule masks which clients produce an update each round (energy depletion, churn, outages)")
+	edgeBootstrap := flag.String("edge-bootstrap", "", "drive the fleet against a two-tier federation: dial this root bootstrap address, follow the reroute to the assigned edge, and answer its round go-aheads (clients [fleet-offset, fleet-offset+clients))")
 	flag.Parse()
+
+	if *edgeBootstrap != "" {
+		// Two-tier mode: the fleet clients dial the root's bootstrap
+		// listener, get rerouted to their assigned edges, and serve rounds
+		// until the session shuts down. Redials after an edge death reuse
+		// the same bootstrap path.
+		start := time.Now()
+		err := edge.RunClients(edge.ClientsConfig{
+			Bootstrap: *edgeBootstrap,
+			Lo:        *fleetOffset, Hi: *fleetOffset + *clients,
+			Dim: *dim, Nnz: *nnz, Seed: *seed, Wire: *wire,
+			Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("flfleet: edge fleet: %v", err)
+		}
+		fmt.Printf("flfleet edge clients [%d,%d): done in %.2fs\n",
+			*fleetOffset, *fleetOffset+*clients, time.Since(start).Seconds())
+		return
+	}
 
 	// A scenario turns into a precomputed participation mask: the schedule
 	// is a pure function of (config, seed, round), so the harness needs no

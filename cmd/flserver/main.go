@@ -11,6 +11,17 @@
 //	flclient -addr localhost:7070 -id 0 -clients 3
 //	flclient -addr localhost:7070 -id 1 -clients 3
 //	flclient -addr localhost:7070 -id 2 -clients 3
+//
+// With -root or -edge the binary instead runs one tier of the two-tier
+// edge federation (internal/edge): a root that merges per-edge partials
+// in ascending edge ID and reroutes clients off dead edges, and regional
+// edge aggregators that front fleet clients and stream one partial
+// upstream per round. A two-edge session (four terminals):
+//
+//	flserver -root -edges 2 -clients 64 -rounds 10 -dim 20000
+//	flserver -edge -edge-id 0 -edge-region eu -root-addr localhost:7071
+//	flserver -edge -edge-id 1 -edge-region us -root-addr localhost:7071
+//	flfleet  -edge-bootstrap localhost:7070 -clients 64 -dim 20000 -nnz 1000
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 
 	"adafl/internal/core"
 	"adafl/internal/dataset"
+	"adafl/internal/edge"
 	"adafl/internal/nn"
 	"adafl/internal/obs"
 	"adafl/internal/rpc"
@@ -50,8 +62,50 @@ func main() {
 	wire := flag.String("wire", "binary", "wire codec policy: binary accepts both codecs (clients negotiate at connect time), gob declines binary preambles so every session speaks gob")
 	scenarioPath := flag.String("scenario", "", "declarative scenario file (energy model, churn, device classes): gates selection on availability, scales utility scores by battery level, and checkpoints scenario state for -resume")
 	scenarioLog := flag.String("scenario-log", "", "append the deterministic per-round scenario schedule (JSONL) to this file; byte-identical across runs at the same seed, unlike -event-log")
+
+	// Two-tier federation modes (internal/edge). -root runs the top of the
+	// tree, -edge one regional aggregator; without either the binary runs
+	// the flat single-server session above.
+	rootMode := flag.Bool("root", false, "run the two-tier federation root: merge per-edge partials (ascending edge ID), reroute clients off dead edges via the cost graph")
+	edgeMode := flag.Bool("edge", false, "run one regional edge aggregator: fold client updates, screen, stream one partial per round to -root-addr")
+	dim := flag.Int("dim", 20000, "model dimension for the -root/-edge federation modes")
+	edges := flag.Int("edges", 2, "root mode: edge roster size the session waits for")
+	rootListen := flag.String("root-listen", ":7071", "root mode: edge-facing listen address")
+	bootstrapListen := flag.String("bootstrap-listen", ":7070", "root mode: client bootstrap listen address (clients dial here and are rerouted to their edge)")
+	heartbeatTimeout := flag.Duration("heartbeat-timeout", edge.DefaultHeartbeatTimeout, "root mode: silence window after which a registered edge is declared dead and its clients rerouted")
+	edgeID := flag.Int("edge-id", 0, "edge mode: unique edge identity (the root merges partials in ascending edge ID)")
+	edgeRegion := flag.String("edge-region", "", "edge mode: scenario region for reroute affinity and outage exclusion")
+	edgeListen := flag.String("edge-listen", "", "edge mode: client-facing listen address (empty binds an ephemeral port; the root learns it from the edge hello)")
+	rootAddr := flag.String("root-addr", "", "edge mode: the root's edge-facing address to dial")
+	heartbeatInterval := flag.Duration("heartbeat-interval", edge.DefaultHeartbeatInterval, "edge mode: ping cadence to the root")
+	rootRetries := flag.Int("root-retries", 10, "edge mode: consecutive failed root redials before giving up (full-jitter backoff; the budget resets on progress)")
+
 	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *rootMode && *edgeMode {
+		log.Fatal("flserver: -root and -edge are mutually exclusive")
+	}
+	if *rootMode {
+		runRoot(rootFlags{
+			listen: *rootListen, bootstrap: *bootstrapListen,
+			edges: *edges, clients: *clients, rounds: *rounds, dim: *dim,
+			heartbeatTimeout: *heartbeatTimeout, wire: *wire,
+			ckptDir: *ckptDir, resume: *resume,
+			metricsAddr: *metricsAddr, eventLog: *eventLog,
+		})
+		return
+	}
+	if *edgeMode {
+		runEdge(edgeFlags{
+			id: *edgeID, region: *edgeRegion, listen: *edgeListen,
+			rootAddr: *rootAddr, dim: *dim, wire: *wire,
+			maxNorm: *maxNorm, heartbeatInterval: *heartbeatInterval,
+			retries: *rootRetries, seed: *seed,
+			metricsAddr: *metricsAddr, eventLog: *eventLog,
+		})
+		return
+	}
 
 	if *k <= 0 {
 		*k = (*clients + 1) / 2
@@ -146,4 +200,121 @@ func main() {
 	fmt.Printf("final accuracy: %.3f  uplink: %.1f KB  rounds: %d  evictions: %d  quarantined: %d%s%s\n",
 		res.FinalAcc, float64(res.BytesReceived)/1e3, len(res.Rounds), res.Evictions, len(res.Quarantines),
 		map[bool]string{true: "  (ended early: roster below min-clients)"}[res.EndedEarly], resumed)
+}
+
+// rootFlags and edgeFlags carry the parsed federation-mode flags into
+// their runners; the flat-session path above never constructs them.
+type rootFlags struct {
+	listen, bootstrap      string
+	edges, clients, rounds int
+	dim                    int
+	heartbeatTimeout       time.Duration
+	wire, ckptDir          string
+	resume                 bool
+	metricsAddr, eventLog  string
+}
+
+type edgeFlags struct {
+	id                    int
+	region, listen        string
+	rootAddr, wire        string
+	dim                   int
+	maxNorm               float64
+	heartbeatInterval     time.Duration
+	retries               int
+	seed                  uint64
+	metricsAddr, eventLog string
+}
+
+// openObs builds the optional metrics registry and event log shared by the
+// federation modes; the returned cleanup is safe to defer unconditionally.
+func openObs(metricsAddr, eventLog, who string) (*obs.Registry, *obs.EventLog, func()) {
+	var metrics *obs.Registry
+	var dbg *obs.DebugServer
+	if metricsAddr != "" {
+		metrics = obs.NewRegistry()
+		var err error
+		dbg, err = obs.NewDebugServer(metricsAddr, metrics)
+		if err != nil {
+			log.Fatalf("%s: metrics server: %v", who, err)
+		}
+		log.Printf("%s: metrics at http://%s/metrics", who, dbg.Addr())
+	}
+	var events *obs.EventLog
+	if eventLog != "" {
+		var err error
+		events, err = obs.OpenEventLog(eventLog)
+		if err != nil {
+			log.Fatalf("%s: event log: %v", who, err)
+		}
+	}
+	return metrics, events, func() {
+		if events != nil {
+			if err := events.Close(); err != nil {
+				log.Printf("%s: event log close: %v", who, err)
+			}
+		}
+		if dbg != nil {
+			dbg.Close()
+		}
+	}
+}
+
+// runRoot is the -root mode: the top of the two-tier tree.
+func runRoot(f rootFlags) {
+	metrics, events, cleanup := openObs(f.metricsAddr, f.eventLog, "flserver root")
+	defer cleanup()
+	r, err := edge.NewRoot(edge.RootConfig{
+		EdgeAddr: f.listen, ClientAddr: f.bootstrap,
+		NumEdges: f.edges, Clients: f.clients, Rounds: f.rounds, Dim: f.dim,
+		Wire: f.wire, HeartbeatTimeout: f.heartbeatTimeout,
+		CheckpointDir: f.ckptDir, Resume: f.resume,
+		Metrics: metrics, Events: events, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("flserver root: %v", err)
+	}
+	log.Printf("flserver root: edges at %s, client bootstrap at %s, waiting for %d edges / %d clients",
+		r.EdgeAddr(), r.BootstrapAddr(), f.edges, f.clients)
+	res, err := r.Run()
+	if err != nil {
+		log.Fatalf("flserver root: %v", err)
+	}
+	resumed := ""
+	if res.Resumed > 0 {
+		resumed = fmt.Sprintf("  (resumed %d rounds)", res.Resumed)
+	}
+	var checksum float64
+	for _, v := range res.Global {
+		checksum += v
+	}
+	fmt.Printf("root: %d rounds  epoch %d  reroutes %d  orphans %d  checksum %.6g%s\n",
+		len(res.History), res.Epoch, res.Reroutes, res.Orphans, checksum, resumed)
+}
+
+// runEdge is the -edge mode: one regional aggregator.
+func runEdge(f edgeFlags) {
+	if f.rootAddr == "" {
+		log.Fatal("flserver edge: -root-addr is required")
+	}
+	metrics, events, cleanup := openObs(f.metricsAddr, f.eventLog, "flserver edge")
+	defer cleanup()
+	e, err := edge.NewEdge(edge.EdgeConfig{
+		ID: f.id, ClientAddr: f.listen, RootAddr: f.rootAddr,
+		Region: f.region, Dim: f.dim, Wire: f.wire,
+		MaxUpdateNorm: f.maxNorm, HeartbeatInterval: f.heartbeatInterval,
+		MaxRetries: f.retries, Seed: f.seed,
+		Metrics: metrics, Events: events, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("flserver edge: %v", err)
+	}
+	log.Printf("flserver edge %d (%s): clients at %s, root at %s",
+		f.id, f.region, e.ClientAddr(), f.rootAddr)
+	res, err := e.Run()
+	if err != nil {
+		log.Fatalf("flserver edge: %v", err)
+	}
+	fmt.Printf("edge %d: %d rounds  folded %d  quarantined %d  peak clients %d\n",
+		f.id, res.Rounds, res.Folded, res.Quarantined, res.PeakClients)
 }

@@ -1,0 +1,173 @@
+package edge
+
+import (
+	"fmt"
+	"sort"
+
+	"adafl/internal/netsim"
+)
+
+// EdgeSpec describes one edge aggregator in the topology: identity,
+// client-facing address, scenario region and link models. Addr is
+// refreshed from the edge's hello on every (re)registration; the rest is
+// pinned for the session and checkpointed with the topology.
+type EdgeSpec struct {
+	ID     int
+	Addr   string
+	Region string
+	// Access models the client↔edge link; Uplink the edge→root backhaul.
+	// Both feed the reroute cost model (LinkCost).
+	Access netsim.Link
+	Uplink netsim.Link
+}
+
+// Topology is the root's view of the tree: the edge roster, which edges
+// are down, and the client→edge assignment. Epoch increments on every
+// assignment change (initial plan, reroute), so clients and checkpoints
+// can detect stale assignments.
+type Topology struct {
+	Epoch int
+	// Specs is the edge roster in ascending ID order.
+	Specs []EdgeSpec
+	// Assign maps client ID → edge ID (-1 = unassigned).
+	Assign []int
+	// Down marks edges currently out of the tree.
+	Down map[int]bool
+}
+
+// NewTopology builds a topology over the given specs (sorted by ID;
+// duplicate IDs rejected) with every client unassigned.
+func NewTopology(specs []EdgeSpec, clients int) (*Topology, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("edge: topology needs at least one edge")
+	}
+	sorted := append([]EdgeSpec(nil), specs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i, s := range sorted {
+		if i > 0 && sorted[i-1].ID == s.ID {
+			return nil, fmt.Errorf("edge: duplicate edge ID %d in topology", s.ID)
+		}
+	}
+	assign := make([]int, clients)
+	for i := range assign {
+		assign[i] = -1
+	}
+	return &Topology{Specs: sorted, Assign: assign, Down: map[int]bool{}}, nil
+}
+
+// Spec returns the spec for edge id (nil when unknown).
+func (t *Topology) Spec(id int) *EdgeSpec {
+	for i := range t.Specs {
+		if t.Specs[i].ID == id {
+			return &t.Specs[i]
+		}
+	}
+	return nil
+}
+
+// Live returns the up edges in ascending ID order.
+func (t *Topology) Live() []EdgeSpec {
+	live := make([]EdgeSpec, 0, len(t.Specs))
+	for _, s := range t.Specs {
+		if !t.Down[s.ID] {
+			live = append(live, s)
+		}
+	}
+	return live
+}
+
+// Clients returns the IDs assigned to edge id, ascending.
+func (t *Topology) Clients(id int) []int {
+	var out []int
+	for c, e := range t.Assign {
+		if e == id {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// candidates returns the live edges eligible to receive clients under
+// cm (regions in outage excluded), ascending ID.
+func (t *Topology) candidates(cm CostModel) []EdgeSpec {
+	out := make([]EdgeSpec, 0, len(t.Specs))
+	for _, s := range t.Live() {
+		if cm.RegionDown != nil && s.Region != "" && cm.RegionDown(s.Region) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// load counts current assignments per edge.
+func (t *Topology) load() map[int]int {
+	load := map[int]int{}
+	for _, e := range t.Assign {
+		if e >= 0 {
+			load[e]++
+		}
+	}
+	return load
+}
+
+// Plan computes the initial assignment of every client over the full
+// live topology and advances the epoch. Deterministic: clients ascend,
+// ties break toward the lowest edge ID, the load penalty spreads the
+// fleet.
+func (t *Topology) Plan(cm CostModel) error {
+	clients := make([]int, len(t.Assign))
+	for i := range clients {
+		clients[i] = i
+	}
+	return t.assignClients(clients, cm)
+}
+
+// Reroute marks edge dead down and reassigns its orphaned clients to the
+// cheapest surviving siblings: Dijkstra from the root over the rebuilt
+// live graph scores each survivor's upstream path, then every orphan
+// (ascending) takes the argmin of access + upstream + penalties. The
+// epoch advances; the orphan list (ascending) is returned.
+func (t *Topology) Reroute(dead int, cm CostModel) ([]int, error) {
+	if t.Spec(dead) == nil {
+		return nil, fmt.Errorf("edge: reroute of unknown edge %d", dead)
+	}
+	t.Down[dead] = true
+	orphans := t.Clients(dead)
+	if len(orphans) == 0 {
+		t.Epoch++
+		return nil, nil
+	}
+	if err := t.assignClients(orphans, cm); err != nil {
+		return nil, err
+	}
+	return orphans, nil
+}
+
+// Rejoin readmits a previously down edge (no clients move back; it
+// refills on the next reroute or via new arrivals). The epoch advances
+// so bootstrapping clients see a fresh topology.
+func (t *Topology) Rejoin(id int) {
+	if t.Down[id] {
+		delete(t.Down, id)
+		t.Epoch++
+	}
+}
+
+func (t *Topology) assignClients(clients []int, cm CostModel) error {
+	cands := t.candidates(cm)
+	if len(cands) == 0 {
+		return fmt.Errorf("edge: no surviving edge to assign %d clients to", len(clients))
+	}
+	g := buildGraph(t.Specs, t.Down, cm)
+	upstream := g.Dijkstra("root")
+	assign, ok := planAssign(clients, cands, upstream, t.load(), cm)
+	if !ok {
+		return fmt.Errorf("edge: no reachable edge for reassignment (all uplinks dark)")
+	}
+	for c, e := range assign {
+		t.Assign[c] = e
+	}
+	t.Epoch++
+	return nil
+}

@@ -24,6 +24,10 @@ import (
 //	round       Round, Clients, Selected, Received, Evicted,
 //	            Quarantined, Bytes, Acc — mirrors the server RoundRecord
 //	checkpoint  Round, Bytes, Seconds
+//	edge_up     Round, Edge (an edge registered or rejoined)
+//	edge_down   Round, Edge, Reason (heartbeat timeout or wire error)
+//	reroute     Round, Edge (the dead edge), Clients (orphans moved),
+//	            Reason (the reassignment summary)
 //
 // Client is -1 on records that do not concern a single client. Acc is
 // omitted (not emitted) when the round was not evaluated.
@@ -46,6 +50,11 @@ type Event struct {
 	Evicted     int      `json:"evicted,omitempty"`
 	Quarantined int      `json:"quarantined,omitempty"`
 	Acc         *float64 `json:"acc,omitempty"`
+
+	// Edge identifies the edge aggregator an event concerns (-1 or
+	// omitted on flat-session records). Emitted by the two-tier engine:
+	// edge_up, edge_down, reroute, edge_partial.
+	Edge int `json:"edge,omitempty"`
 }
 
 // AccValue wraps a test accuracy for Event.Acc, mapping NaN (no

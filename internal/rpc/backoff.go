@@ -6,36 +6,36 @@ import (
 	"adafl/internal/stats"
 )
 
-// retryBackoff produces redial waits with exponential growth and full
+// RetryBackoff produces redial waits with exponential growth and full
 // jitter (AWS-style: each wait is uniform in [0, window), with the
 // window doubling per consecutive failure up to a cap). Without jitter,
 // every client that lost its link to a crashed server redials in
 // lockstep after a restart — a thundering herd that the resumed server
 // absorbs as one synchronized accept burst per backoff step. Full
 // jitter spreads the herd across the whole window.
-type retryBackoff struct {
+type RetryBackoff struct {
 	initial time.Duration
 	max     time.Duration
 	window  time.Duration
 	rng     *stats.RNG
 }
 
-// newRetryBackoff returns a policy starting at initial and capping the
+// NewRetryBackoff returns a policy starting at initial and capping the
 // window at max. rng drives the jitter; a nil rng disables it (pure
 // exponential waits), which tests of the deterministic schedule use.
-func newRetryBackoff(initial, max time.Duration, rng *stats.RNG) *retryBackoff {
+func NewRetryBackoff(initial, max time.Duration, rng *stats.RNG) *RetryBackoff {
 	if initial <= 0 {
 		initial = 200 * time.Millisecond
 	}
 	if max <= 0 {
 		max = maxRetryBackoff
 	}
-	return &retryBackoff{initial: initial, max: max, window: initial, rng: rng}
+	return &RetryBackoff{initial: initial, max: max, window: initial, rng: rng}
 }
 
-// next returns the wait before the upcoming redial attempt and widens
+// Next returns the wait before the upcoming redial attempt and widens
 // the window for the one after it.
-func (b *retryBackoff) next() time.Duration {
+func (b *RetryBackoff) Next() time.Duration {
 	window := b.window
 	if b.window *= 2; b.window > b.max {
 		b.window = b.max
@@ -46,6 +46,6 @@ func (b *retryBackoff) next() time.Duration {
 	return time.Duration(b.rng.Float64() * float64(window))
 }
 
-// reset shrinks the window back to the initial value; called when a
+// Reset shrinks the window back to the initial value; called when a
 // connection makes progress, so only consecutive failures escalate.
-func (b *retryBackoff) reset() { b.window = b.initial }
+func (b *RetryBackoff) Reset() { b.window = b.initial }

@@ -12,14 +12,14 @@ import (
 // client fleet redialling a restarted server.
 func TestBackoffFullJitterSpread(t *testing.T) {
 	const window = 100 * time.Millisecond
-	b := newRetryBackoff(window, window, stats.NewRNG(7))
+	b := NewRetryBackoff(window, window, stats.NewRNG(7))
 	const n = 400
 	var sum time.Duration
 	distinct := map[time.Duration]bool{}
 	low, high := 0, 0
 	for i := 0; i < n; i++ {
-		b.reset() // hold the window fixed; sample only the jitter
-		w := b.next()
+		b.Reset() // hold the window fixed; sample only the jitter
+		w := b.Next()
 		if w < 0 || w >= window {
 			t.Fatalf("wait %v outside [0, %v)", w, window)
 		}
@@ -48,7 +48,7 @@ func TestBackoffFullJitterSpread(t *testing.T) {
 // TestBackoffWindowDoublesAndCaps: without jitter the schedule is the
 // plain exponential sequence, capped, and reset() restarts it.
 func TestBackoffWindowDoublesAndCaps(t *testing.T) {
-	b := newRetryBackoff(100*time.Millisecond, 400*time.Millisecond, nil)
+	b := NewRetryBackoff(100*time.Millisecond, 400*time.Millisecond, nil)
 	want := []time.Duration{
 		100 * time.Millisecond,
 		200 * time.Millisecond,
@@ -56,12 +56,12 @@ func TestBackoffWindowDoublesAndCaps(t *testing.T) {
 		400 * time.Millisecond, // capped
 	}
 	for i, w := range want {
-		if got := b.next(); got != w {
+		if got := b.Next(); got != w {
 			t.Fatalf("attempt %d: wait %v, want %v", i, got, w)
 		}
 	}
-	b.reset()
-	if got := b.next(); got != 100*time.Millisecond {
+	b.Reset()
+	if got := b.Next(); got != 100*time.Millisecond {
 		t.Fatalf("after reset: wait %v, want 100ms", got)
 	}
 }
@@ -69,14 +69,14 @@ func TestBackoffWindowDoublesAndCaps(t *testing.T) {
 // TestBackoffClientsDesynchronised: two clients with different seeds
 // must not share a redial schedule.
 func TestBackoffClientsDesynchronised(t *testing.T) {
-	a := newRetryBackoff(time.Second, time.Second, stats.NewRNG(1).Split())
-	b := newRetryBackoff(time.Second, time.Second, stats.NewRNG(2).Split())
+	a := NewRetryBackoff(time.Second, time.Second, stats.NewRNG(1).Split())
+	b := NewRetryBackoff(time.Second, time.Second, stats.NewRNG(2).Split())
 	same := 0
 	const n = 100
 	for i := 0; i < n; i++ {
-		a.reset()
-		b.reset()
-		if a.next() == b.next() {
+		a.Reset()
+		b.Reset()
+		if a.Next() == b.Next() {
 			same++
 		}
 	}

@@ -112,7 +112,7 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	// Jitter from a stream decorrelated from the batch iterator's: both
 	// derive from Seed, but Split mixes the state so the redial schedule
 	// does not echo the batch order.
-	backoff := newRetryBackoff(cfg.RetryBackoff, maxRetryBackoff, stats.NewRNG(cfg.Seed).Split())
+	backoff := NewRetryBackoff(cfg.RetryBackoff, maxRetryBackoff, stats.NewRNG(cfg.Seed).Split())
 	for retries := 0; ; {
 		done, progressed, err := sess.runOnce()
 		if done {
@@ -122,13 +122,13 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 			// The link worked for a while: this loss is a fresh failure,
 			// not part of a consecutive-failure streak.
 			retries = 0
-			backoff.reset()
+			backoff.Reset()
 		}
 		if errors.Is(err, errProtocol) || retries >= cfg.MaxRetries {
 			return sess.res, err
 		}
 		retries++
-		wait := backoff.next()
+		wait := backoff.Next()
 		sess.met.redials.Inc()
 		sess.met.backoffSec.Observe(wait.Seconds())
 		cfg.Logf("client %d: link lost (%v); reconnect %d/%d in %v",
@@ -241,6 +241,13 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 		case MsgWelcome:
 			if e.Round > 0 {
 				cfg.Logf("client %d: joining in-progress session at round %d", cfg.ID, e.Round+1)
+			}
+		case MsgPing:
+			// Keepalive probe: echo it so the server's liveness watchdog
+			// sees a response within the heartbeat interval rather than
+			// waiting for the next phase deadline.
+			if err := conn.Send(&Envelope{Type: MsgPing, ClientID: cfg.ID, Round: e.Round}); err != nil {
+				return false, true, err
 			}
 		case MsgModel:
 			// Guard the broadcast before trusting it: a corrupt stream

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"io"
@@ -40,6 +41,10 @@ func fixtureEnvelopes() []*Envelope {
 		{Type: MsgUpdate, ClientID: 1, Round: 7, Update: &compress.Sparse{Dim: 8, Indices: []int32{0, 3, 7}, Values: []float64{1, -2, 0.5}}},
 		{Type: MsgShutdown, Info: "done: 30 rounds"},
 		{Type: MsgWelcome, Round: 4},
+		{Type: MsgPing, ClientID: 2, Round: 9, NumSamples: 118},
+		{Type: MsgEdgeHello, ClientID: 1, NumSamples: 230, Info: "127.0.0.1:9021", Region: "eu-south"},
+		{Type: MsgEdgePartial, ClientID: 1, Round: 9, NumSamples: 230, WeightSum: 230, Params: []float64{0.25, -1.5, 1e-9}},
+		{Type: MsgReroute, ClientID: 17, Round: 3, Info: "127.0.0.1:9022"},
 	}
 }
 
@@ -123,6 +128,30 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x00, 0x00, 0x00, 0x00})             // zero-length payload
 	f.Add([]byte{0x0a, 0x00, 0x00, 0x00, 0xff, 0xff}) // bad type, cut header
+
+	// Hostile edge-federation frames: length fields that lie about the
+	// body. Offsets: 4-byte frame prefix, 10-byte header, then the typed
+	// body (EdgePartial: numSamples@14 weightSum@18 nParams@26 params@30;
+	// EdgeHello: numSamples@14 infoLen@18; Reroute: infoLen@14).
+	for _, e := range fixtureEnvelopes() {
+		raw := encodeBinaryEnvelope(f, e)
+		switch e.Type {
+		case MsgEdgePartial:
+			mut := append([]byte(nil), raw...)
+			binary.LittleEndian.PutUint32(mut[26:], 0xffffffff) // declared params >> body
+			f.Add(mut)
+			f.Add(raw[:len(raw)-5]) // truncated mid-params
+		case MsgEdgeHello:
+			mut := append([]byte(nil), raw...)
+			binary.LittleEndian.PutUint32(mut[18:], 0x7fffffff) // info length lies
+			f.Add(mut)
+			f.Add(raw[:len(raw)-2]) // truncated mid-region
+		case MsgReroute:
+			mut := append([]byte(nil), raw...)
+			binary.LittleEndian.PutUint32(mut[14:], 0xfffffff0) // address length lies
+			f.Add(mut)
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<16 {

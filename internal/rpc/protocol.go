@@ -60,6 +60,25 @@ const (
 	// or in-progress session learns it is joining at round r+1 rather
 	// than assuming a fresh session at round 0.
 	MsgWelcome
+	// MsgPing is the lightweight keepalive/heartbeat: Round carries the
+	// sender's current round and NumSamples its progress (an edge reports
+	// its connected-client count). A dead TCP peer surfaces within a
+	// heartbeat interval instead of only at the phase deadline. Receivers
+	// that have nothing to report may echo the ping unchanged.
+	MsgPing
+	// MsgEdgeHello registers an edge aggregator with the root: ClientID is
+	// the edge ID, Info its client-facing listen address, Region its
+	// scenario region, NumSamples the clients currently connected to it.
+	MsgEdgeHello
+	// MsgEdgePartial streams an edge's folded round aggregate upstream:
+	// ClientID is the edge ID, Params the partial's Sum vector, WeightSum
+	// the accumulated fold weight and NumSamples the fold count.
+	MsgEdgePartial
+	// MsgReroute is the welcome extension a root's client bootstrap sends:
+	// Info is the address of the edge the client is assigned to and Round
+	// the topology epoch the assignment belongs to. Orphans of a dead edge
+	// redial the bootstrap and learn their new edge from it.
+	MsgReroute
 )
 
 // Envelope is the single wire message type. Only the fields relevant to
@@ -83,8 +102,15 @@ type Envelope struct {
 	// MsgUpdate
 	Update *compress.Sparse
 
-	// MsgShutdown
+	// MsgShutdown / MsgEdgeHello / MsgReroute (an address on the edge
+	// messages, a farewell summary on shutdown)
 	Info string
+
+	// MsgEdgePartial
+	WeightSum float64
+
+	// MsgEdgeHello
+	Region string
 }
 
 // Conn wraps a net.Conn with one of the two codecs and byte accounting.

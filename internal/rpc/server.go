@@ -87,6 +87,13 @@ type ServerConfig struct {
 	// validation (index bounds, length pairing) and NaN/Inf scrubbing
 	// are always on.
 	MaxUpdateNorm float64
+	// QuarantineLogCap bounds the quarantine log carried in the result
+	// and in session checkpoints: only the most recent cap records are
+	// retained (drop-oldest ring semantics) so a long multi-session run
+	// under sustained attack cannot grow snapshots without limit. 0
+	// means DefaultQuarantineLogCap; negative disables the bound. The
+	// drop count is reported in ServerResult.QuarantinesDropped.
+	QuarantineLogCap int
 	// Shards, when positive, streams arriving updates through an
 	// internal/shard aggregation tree instead of buffering the round's
 	// update set: each update folds into its shard's running partial as
@@ -171,9 +178,13 @@ type ServerResult struct {
 	// EndedEarly is set when the roster fell below MinClients and the
 	// session stopped before completing the configured rounds.
 	EndedEarly bool
-	// Quarantines lists every update rejected by the integrity screen
-	// across the session (including rounds restored from a checkpoint).
+	// Quarantines lists the most recent updates rejected by the integrity
+	// screen across the session (including rounds restored from a
+	// checkpoint), bounded by ServerConfig.QuarantineLogCap.
 	Quarantines []QuarantineRecord
+	// QuarantinesDropped counts older quarantine records discarded to
+	// keep Quarantines within the cap.
+	QuarantinesDropped int
 	// ResumedFrom is the round the session resumed at (-1 for a fresh
 	// session): Rounds[:ResumedFrom] were restored from the checkpoint,
 	// the rest were run by this process.
@@ -207,8 +218,29 @@ type Server struct {
 	seen map[int]bool // client ids that have registered at least once (under mu)
 	met  serverMetrics
 
-	quarantines []QuarantineRecord // touched only by the round loop goroutine
-	tree        *shard.Tree        // streaming aggregation tree (nil when Shards == 0)
+	quarantines        []QuarantineRecord // touched only by the round loop goroutine
+	quarantinesDropped int                // records discarded by the log cap
+	tree               *shard.Tree        // streaming aggregation tree (nil when Shards == 0)
+}
+
+// DefaultQuarantineLogCap bounds the quarantine log when
+// ServerConfig.QuarantineLogCap is zero.
+const DefaultQuarantineLogCap = 4096
+
+// appendQuarantines appends new records to the session's quarantine log,
+// discarding the oldest entries beyond the configured cap so checkpoints
+// stay bounded under a sustained attack. Called only from the round loop
+// goroutine (and once at resume, before it starts).
+func (s *Server) appendQuarantines(quarantined []QuarantineRecord) {
+	s.quarantines = append(s.quarantines, quarantined...)
+	max := s.cfg.QuarantineLogCap
+	if max == 0 {
+		max = DefaultQuarantineLogCap
+	}
+	if over := len(s.quarantines) - max; max > 0 && over > 0 {
+		s.quarantinesDropped += over
+		s.quarantines = append(s.quarantines[:0], s.quarantines[over:]...)
+	}
 }
 
 // ErrServerKilled is returned by Run when Kill interrupted the session:
@@ -325,8 +357,13 @@ func (s *Server) Run() (*ServerResult, error) {
 			res.BytesReceived = snap.BytesReceived
 			res.Evictions = snap.Evictions
 			res.FinalAcc = snap.FinalAcc
-			res.Quarantines = snap.Quarantines
 			s.quarantines = snap.Quarantines
+			s.quarantinesDropped = snap.QuarantinesDropped
+			// Re-bound: the snapshot may predate the cap or carry a
+			// bigger one. Old (unbounded) checkpoints restore fine.
+			s.appendQuarantines(nil)
+			res.Quarantines = s.quarantines
+			res.QuarantinesDropped = s.quarantinesDropped
 			res.ResumedFrom = startRound
 			if s.cfg.RNG != nil && snap.RNG != nil {
 				*s.cfg.RNG = *snap.RNG
@@ -395,6 +432,7 @@ func (s *Server) Run() (*ServerResult, error) {
 			res.FinalAcc = rec.TestAcc
 		}
 		res.Quarantines = s.quarantines
+		res.QuarantinesDropped = s.quarantinesDropped
 		if s.cfg.CheckpointDir != "" {
 			ckptStart := time.Now()
 			size, err := s.saveCheckpoint(round, global, globalDelta, planner, res)
@@ -825,7 +863,7 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 		rec.Evicted++
 		rec.Quarantined++
 	}
-	s.quarantines = append(s.quarantines, quarantined...)
+	s.appendQuarantines(quarantined)
 
 	// Apply the merged partial (FedAvg weighted by sample counts of the
 	// round's roster; the 1/WeightSum renormalisation keeps the average
@@ -912,10 +950,13 @@ type sessionSnapshot struct {
 	SelectorLastSel map[int]int
 	History         []RoundRecord
 	Quarantines     []QuarantineRecord
-	BytesReceived   int64
-	Evictions       int
-	FinalAcc        float64
-	RNG             *stats.RNG
+	// QuarantinesDropped counts records the log cap discarded before this
+	// snapshot; zero when decoding pre-cap snapshots.
+	QuarantinesDropped int
+	BytesReceived      int64
+	Evictions          int
+	FinalAcc           float64
+	RNG                *stats.RNG
 	// ShardState is the aggregation tree's geometry and partials (nil
 	// when the session runs buffered). Snapshots are taken at round
 	// boundaries, where the partials are freshly reset, so its real job
@@ -947,21 +988,22 @@ func (s *Server) saveCheckpoint(round int, global, globalDelta []float64,
 		scenState = s.cfg.Scenario.Snapshot()
 	}
 	return checkpoint.SaveSized(s.checkpointPath(), &sessionSnapshot{
-		CompletedRound:  round,
-		ParamDim:        len(global),
-		NumClients:      s.cfg.NumClients,
-		Rounds:          s.cfg.Rounds,
-		Global:          global,
-		GlobalDelta:     globalDelta,
-		SelectorLastSel: lastSel,
-		History:         res.Rounds,
-		Quarantines:     s.quarantines,
-		BytesReceived:   res.BytesReceived,
-		Evictions:       res.Evictions,
-		FinalAcc:        res.FinalAcc,
-		RNG:             s.cfg.RNG,
-		ShardState:      treeState,
-		Scenario:        scenState,
+		CompletedRound:     round,
+		ParamDim:           len(global),
+		NumClients:         s.cfg.NumClients,
+		Rounds:             s.cfg.Rounds,
+		Global:             global,
+		GlobalDelta:        globalDelta,
+		SelectorLastSel:    lastSel,
+		History:            res.Rounds,
+		Quarantines:        s.quarantines,
+		QuarantinesDropped: s.quarantinesDropped,
+		BytesReceived:      res.BytesReceived,
+		Evictions:          res.Evictions,
+		FinalAcc:           res.FinalAcc,
+		RNG:                s.cfg.RNG,
+		ShardState:         treeState,
+		Scenario:           scenState,
 	})
 }
 

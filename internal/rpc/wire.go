@@ -24,6 +24,10 @@ import (
 //	  Update    sparse section (see internal/compress wire layout)
 //	  Shutdown  u32 LE len | UTF-8 info
 //	  Model     u32 LE nParams | u32 LE nDelta | nParams × f64 | nDelta × f64
+//	  Ping      i32 LE numSamples (progress count)
+//	  EdgeHello i32 LE numSamples | u32 LE len | info | u32 LE len | region
+//	  EdgePartial i32 LE numSamples | f64 LE weightSum | u32 LE n | n × f64
+//	  Reroute   u32 LE len | UTF-8 info (the assigned edge's address)
 //
 // The length prefix excludes its own 4 bytes. Explicit framing is what
 // makes receive-side accounting exact: a Conn reads exactly 4+len bytes
@@ -91,6 +95,14 @@ func (e *Envelope) wirePayloadSize() (int, error) {
 			return 0, fmt.Errorf("rpc: send update without payload")
 		}
 		n += e.Update.BinaryWireSize()
+	case MsgPing:
+		n += 4
+	case MsgEdgeHello:
+		n += 4 + 4 + len(e.Info) + 4 + len(e.Region)
+	case MsgEdgePartial:
+		n += 4 + 8 + 4 + 8*len(e.Params)
+	case MsgReroute:
+		n += 4 + len(e.Info)
 	default:
 		return 0, fmt.Errorf("rpc: send unknown message type %v", e.Type)
 	}
@@ -123,6 +135,17 @@ func (c *Conn) sendBinary(e *Envelope) error {
 	case MsgModel:
 		h = binary.LittleEndian.AppendUint32(h, uint32(len(e.Params)))
 		h = binary.LittleEndian.AppendUint32(h, uint32(len(e.GlobalDelta)))
+	case MsgPing:
+		h = binary.LittleEndian.AppendUint32(h, uint32(int32(e.NumSamples)))
+	case MsgEdgeHello:
+		h = binary.LittleEndian.AppendUint32(h, uint32(int32(e.NumSamples)))
+		h = binary.LittleEndian.AppendUint32(h, uint32(len(e.Info)))
+	case MsgEdgePartial:
+		h = binary.LittleEndian.AppendUint32(h, uint32(int32(e.NumSamples)))
+		h = binary.LittleEndian.AppendUint64(h, math.Float64bits(e.WeightSum))
+		h = binary.LittleEndian.AppendUint32(h, uint32(len(e.Params)))
+	case MsgReroute:
+		h = binary.LittleEndian.AppendUint32(h, uint32(len(e.Info)))
 	}
 	c.sendHdr = h[:0] // keep any growth for the next send
 	if _, err := c.bw.Write(h); err != nil {
@@ -142,6 +165,25 @@ func (c *Conn) sendBinary(e *Envelope) error {
 		}
 	case MsgUpdate:
 		if err := e.Update.EncodeBinaryTo(c.bw, c.chunk); err != nil {
+			return err
+		}
+	case MsgEdgeHello:
+		if _, err := c.bw.WriteString(e.Info); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(c.chunk, uint32(len(e.Region)))
+		if _, err := c.bw.Write(c.chunk[:4]); err != nil {
+			return err
+		}
+		if _, err := c.bw.WriteString(e.Region); err != nil {
+			return err
+		}
+	case MsgEdgePartial:
+		if err := c.writeF64s(e.Params); err != nil {
+			return err
+		}
+	case MsgReroute:
+		if _, err := c.bw.WriteString(e.Info); err != nil {
 			return err
 		}
 	}
@@ -271,6 +313,53 @@ func (c *Conn) decodeFrame(e *Envelope, p []byte, fresh bool) error {
 			return fmt.Errorf("%w: %v", errWireFrame, err)
 		}
 		e.Update = sp
+	case MsgPing:
+		if err := need(4); err != nil {
+			return err
+		}
+		e.NumSamples = int(int32(binary.LittleEndian.Uint32(body)))
+	case MsgEdgeHello:
+		if len(body) < 8 {
+			return fmt.Errorf("%w: edge-hello body of %d bytes", errWireFrame, len(body))
+		}
+		e.NumSamples = int(int32(binary.LittleEndian.Uint32(body)))
+		il := int64(binary.LittleEndian.Uint32(body[4:]))
+		rest := body[8:]
+		if il > int64(len(rest))-4 || il < 0 {
+			return fmt.Errorf("%w: edge-hello declares a %d-byte address in a %d-byte body", errWireFrame, il, len(rest))
+		}
+		e.Info = string(rest[:il])
+		rl := int64(binary.LittleEndian.Uint32(rest[il:]))
+		if err := needN(e.Type, rest[il+4:], rl); err != nil {
+			return err
+		}
+		e.Region = string(rest[il+4:])
+	case MsgEdgePartial:
+		if len(body) < 16 {
+			return fmt.Errorf("%w: edge-partial body of %d bytes", errWireFrame, len(body))
+		}
+		e.NumSamples = int(int32(binary.LittleEndian.Uint32(body)))
+		e.WeightSum = math.Float64frombits(binary.LittleEndian.Uint64(body[4:]))
+		np := binary.LittleEndian.Uint32(body[12:])
+		if err := needN(e.Type, body[16:], 8*int64(np)); err != nil {
+			return err
+		}
+		if fresh {
+			e.Params = makeF64s(nil, int(np))
+		} else {
+			c.recvParams = makeF64s(c.recvParams, int(np))
+			e.Params = c.recvParams
+		}
+		readF64s(e.Params, body[16:])
+	case MsgReroute:
+		if len(body) < 4 {
+			return fmt.Errorf("%w: reroute body of %d bytes", errWireFrame, len(body))
+		}
+		l := binary.LittleEndian.Uint32(body)
+		if err := needN(e.Type, body[4:], int64(l)); err != nil {
+			return err
+		}
+		e.Info = string(body[4 : 4+l])
 	default:
 		return fmt.Errorf("%w: unknown message type %d", errWireFrame, p[0])
 	}
@@ -351,6 +440,43 @@ func serverNegotiate(raw net.Conn, acceptBinary bool) (*Conn, error) {
 		return nil, err
 	}
 	return NewBinaryConn(raw, nil), nil
+}
+
+// Accept negotiates the codec on a freshly accepted connection under the
+// server-side wire policy: "" or WireBinary sniffs the client's opening
+// byte and speaks whichever codec it opened with; WireGob declines binary
+// preambles so the session runs gob. This is the handshake the federation
+// server applies per connection, exported for the edge tier's listeners.
+func Accept(raw net.Conn, wire string) (*Conn, error) {
+	return serverNegotiate(raw, wire != WireGob)
+}
+
+// Dial connects to network/addr and negotiates the codec the way
+// RunClient's dial path does: "" or WireBinary requests the binary codec
+// and redials speaking gob when the peer declines (the peer consumed the
+// preamble as a corrupt gob stream and dropped the connection); WireGob
+// skips negotiation. timeout bounds each dial attempt (0 means 10s).
+func Dial(network, addr, wire string, timeout time.Duration) (*Conn, error) {
+	if wire != "" && wire != WireBinary && wire != WireGob {
+		return nil, fmt.Errorf("rpc: unknown wire codec %q (want %q or %q)", wire, WireBinary, WireGob)
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	raw, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if wire != WireGob {
+		if clientNegotiate(raw, timeout) {
+			return NewBinaryConn(raw, nil), nil
+		}
+		raw.Close()
+		if raw, err = net.DialTimeout(network, addr, timeout); err != nil {
+			return nil, err
+		}
+	}
+	return NewConn(raw, nil), nil
 }
 
 // prefixConn replays sniffed bytes ahead of the wrapped connection.

@@ -506,3 +506,37 @@ func TestWireConcurrentSendRecv(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCodecInterop: every message type — including the edge-federation
+// vocabulary (ping, edge hello, edge partial, reroute) — decodes to the
+// same logical envelope through both codecs. A mixed deployment (binary
+// edges, gob fallback clients) must agree on every field either path.
+func TestCodecInterop(t *testing.T) {
+	roundTrip := func(e *Envelope, mk func(net.Conn, *TokenBucket) *Conn) *Envelope {
+		t.Helper()
+		a, b := net.Pipe()
+		ca, cb := mk(a, nil), mk(b, nil)
+		defer ca.Close()
+		defer cb.Close()
+		errCh := make(chan error, 1)
+		go func() { errCh <- ca.Send(e) }()
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("type %v: recv: %v", e.Type, err)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatalf("type %v: send: %v", e.Type, err)
+		}
+		return got
+	}
+	for _, e := range fixtureEnvelopes() {
+		viaGob := roundTrip(e, NewConn)
+		viaBin := roundTrip(e, NewBinaryConn)
+		if !reflect.DeepEqual(viaGob, viaBin) {
+			t.Errorf("type %v: codecs disagree:\n gob    %+v\n binary %+v", e.Type, viaGob, viaBin)
+		}
+		if !reflect.DeepEqual(viaBin, e) {
+			t.Errorf("type %v: binary drops information:\n got  %+v\n want %+v", e.Type, viaBin, e)
+		}
+	}
+}

@@ -282,6 +282,43 @@ func (f *Fleet) inOutage(id int) bool {
 	return false
 }
 
+// Regions returns the scenario's region names (nil when it defines
+// none). The returned slice is the scenario's own; callers must not
+// mutate it. The two-tier federation's region→edge mapping derives from
+// this together with RegionName.
+func (f *Fleet) Regions() []string {
+	if f.sc.Churn == nil {
+		return nil
+	}
+	return f.sc.Churn.Regions
+}
+
+// RegionName returns the region client id belongs to ("" for ids outside
+// the fleet or when the scenario defines no regions).
+func (f *Fleet) RegionName(id int) string {
+	if id < 0 || id >= f.n || f.region[id] < 0 {
+		return ""
+	}
+	return f.sc.Churn.Regions[f.region[id]]
+}
+
+// RegionInOutage reports whether the named region has an outage
+// overlapping round's window [r·T, (r+1)·T) — the root's reroute planner
+// excludes edges in a region that is currently dark.
+func (f *Fleet) RegionInOutage(name string, round int) bool {
+	if f.sc.Churn == nil || name == "" {
+		return false
+	}
+	t0 := float64(round) * f.sc.RoundSeconds
+	t1 := t0 + f.sc.RoundSeconds
+	for _, o := range f.sc.Churn.Outages {
+		if o.Region == name && o.StartS < t1 && o.StartS+o.DurationS > t0 {
+			return true
+		}
+	}
+	return false
+}
+
 // diurnalUp evaluates the availability wave for id at the current round
 // start: the fleet-wide available fraction p(t) follows a raised cosine
 // between max_frac and min_frac, and id is up iff its fixed quantile

@@ -23,6 +23,11 @@ func FuzzShardMerge(f *testing.F) {
 	f.Add(uint64(1), uint8(1), uint8(4), uint8(8))
 	f.Add(uint64(7), uint8(3), uint8(20), uint8(16))
 	f.Add(uint64(42), uint8(8), uint8(50), uint8(3))
+	// Edge-partial shaped batches: the two-tier root folds per-edge
+	// partials whose client batches can carry duplicate IDs (a client
+	// replayed after a reroute) and single-shard topologies (one edge).
+	f.Add(uint64(1337), uint8(1), uint8(63), uint8(40))
+	f.Add(uint64(2026), uint8(5), uint8(48), uint8(24))
 	f.Fuzz(func(t *testing.T, seed uint64, shards, nups, dim8 uint8) {
 		s := int(shards)%8 + 1
 		n := int(nups) % 64
@@ -54,6 +59,25 @@ func FuzzShardMerge(f *testing.F) {
 				Client: c,
 				Weight: float64(rng.next()%100) / 10,
 				Delta:  &compress.Sparse{Dim: d, Indices: idx, Values: vals},
+			}
+		}
+		// ~1/4 of updates duplicate the previous entry's client ID and
+		// delta content (fresh slices: Scrub mutates in place), modelling
+		// a rerouted client whose round replayed through a second edge.
+		// The tree must fold every instance, never dedup; identical
+		// content keeps validity uniform per ID so the quarantine-set
+		// reconstruction below stays sound.
+		for c := 1; c < n; c++ {
+			if rng.next()%4 != 0 {
+				continue
+			}
+			prev := ups[c-1]
+			ups[c] = Update{
+				Client: prev.Client,
+				Weight: float64(rng.next()%100) / 10,
+				Delta: &compress.Sparse{Dim: prev.Delta.Dim,
+					Indices: append([]int32(nil), prev.Delta.Indices...),
+					Values:  append([]float64(nil), prev.Delta.Values...)},
 			}
 		}
 

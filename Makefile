@@ -72,7 +72,8 @@ cover:
 	check_pkg netsim 85; \
 	check_pkg rpc 84; \
 	check_pkg shard 76; \
-	check_pkg edge 80
+	check_pkg edge 80; \
+	check_pkg compress 85
 
 # Fleet-scale aggregation smoke: a small streaming-vs-buffered pair from
 # the load harness. BENCH_5.json records the full 1k/10k-client runs and

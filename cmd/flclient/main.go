@@ -40,6 +40,7 @@ func main() {
 	backoff := flag.Duration("retry-backoff", 200*time.Millisecond, "initial redial backoff window; doubles per attempt, each wait drawn uniformly from it (full jitter)")
 	metricsAddr := flag.String("metrics-addr", "", "listen address for the debug HTTP server (/metrics, /healthz, /debug/pprof); empty disables it")
 	wire := flag.String("wire", "binary", "wire codec: binary negotiates the zero-copy codec and falls back to gob if the server declines; gob skips negotiation")
+	codec := flag.String("codec", "dgc", "default uplink codec: dgc, dadaquant, qsgd, terngrad, topk or identity; a negotiated server assignment overrides it per round")
 	scenarioPath := flag.String("scenario", "", "declarative scenario file (must match the server's): shapes this client's reported bandwidth per round by its device class and the scenario's bandwidth trace")
 	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
@@ -104,6 +105,7 @@ func main() {
 		Utility: cfg.Utility, UpBps: *upbps, DownBps: *downbps,
 		Bandwidth:      bandwidth,
 		ThrottleUplink: *throttle,
+		Codec:          *codec,
 		DGCMomentum:    cfg.DGCMomentum, DGCClip: cfg.DGCClip, DGCMsgClip: cfg.DGCMsgClip,
 		Seed:       *seed + 100 + uint64(*id),
 		MaxRetries: *retries, RetryBackoff: *backoff,

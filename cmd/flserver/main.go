@@ -62,6 +62,13 @@ func main() {
 	wire := flag.String("wire", "binary", "wire codec policy: binary accepts both codecs (clients negotiate at connect time), gob declines binary preambles so every session speaks gob")
 	scenarioPath := flag.String("scenario", "", "declarative scenario file (energy model, churn, device classes): gates selection on availability, scales utility scores by battery level, and checkpoints scenario state for -resume")
 	scenarioLog := flag.String("scenario-log", "", "append the deterministic per-round scenario schedule (JSONL) to this file; byte-identical across runs at the same seed, unlike -event-log")
+	negotiate := flag.Bool("negotiate", false, "negotiate each selected client's uplink codec+ratio per round from its observed link state (EWMA bytes, scenario bandwidth); assignments travel in the Select broadcast and join the session checkpoint")
+	assignLog := flag.String("assign-log", "", "append the deterministic per-round codec assignments (JSONL, sorted by client id) to this file; byte-identical across replays, like -scenario-log (needs -negotiate)")
+	negDefaults := core.DefaultNegotiation()
+	negSwitch := flag.Float64("neg-switch-ratio", negDefaults.SwitchRatio, "effective ratio at which negotiation switches a client from DGC sparsification to DAdaQuant quantization")
+	negMinLv := flag.Int("neg-min-levels", negDefaults.MinLevels, "minimum DAdaQuant quantization level count")
+	negMaxLv := flag.Int("neg-max-levels", negDefaults.MaxLevels, "maximum DAdaQuant quantization level count")
+	negEvery := flag.Int("neg-double-every", negDefaults.LevelDoubleEvery, "rounds between doublings of the scheduled DAdaQuant level count")
 
 	// Two-tier federation modes (internal/edge). -root runs the top of the
 	// tree, -edge one regional aggregator; without either the binary runs
@@ -97,13 +104,17 @@ func main() {
 		return
 	}
 	if *edgeMode {
-		runEdge(edgeFlags{
+		ef := edgeFlags{
 			id: *edgeID, region: *edgeRegion, listen: *edgeListen,
 			rootAddr: *rootAddr, dim: *dim, wire: *wire,
 			maxNorm: *maxNorm, heartbeatInterval: *heartbeatInterval,
 			retries: *rootRetries, seed: *seed,
 			metricsAddr: *metricsAddr, eventLog: *eventLog,
-		})
+		}
+		if *negotiate {
+			ef.negotiation = negotiationFlags(*negMinLv, *negMaxLv, *negEvery, *negSwitch)
+		}
+		runEdge(ef)
 		return
 	}
 
@@ -160,6 +171,19 @@ func main() {
 		Shards: *shards, Wire: *wire,
 		Fault: faults.Config(), Metrics: metrics, Events: events,
 	}
+	if *negotiate {
+		scfg.Negotiation = negotiationFlags(*negMinLv, *negMaxLv, *negEvery, *negSwitch)
+		if *assignLog != "" {
+			af, err := os.OpenFile(*assignLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("flserver: assign log: %v", err)
+			}
+			defer af.Close()
+			scfg.AssignLog = af
+		}
+	} else if *assignLog != "" {
+		log.Fatal("flserver: -assign-log needs -negotiate")
+	}
 	if *scenarioPath != "" {
 		sc, err := scenario.Load(*scenarioPath)
 		if err != nil {
@@ -202,6 +226,16 @@ func main() {
 		map[bool]string{true: "  (ended early: roster below min-clients)"}[res.EndedEarly], resumed)
 }
 
+// negotiationFlags folds the -neg-* knobs over the negotiation defaults.
+func negotiationFlags(minLv, maxLv, every int, switchRatio float64) core.NegotiationConfig {
+	nc := core.DefaultNegotiation()
+	nc.Enabled = true
+	nc.MinLevels, nc.MaxLevels = minLv, maxLv
+	nc.LevelDoubleEvery = every
+	nc.SwitchRatio = switchRatio
+	return nc
+}
+
 // rootFlags and edgeFlags carry the parsed federation-mode flags into
 // their runners; the flat-session path above never constructs them.
 type rootFlags struct {
@@ -224,6 +258,7 @@ type edgeFlags struct {
 	retries               int
 	seed                  uint64
 	metricsAddr, eventLog string
+	negotiation           core.NegotiationConfig
 }
 
 // openObs builds the optional metrics registry and event log shared by the
@@ -303,7 +338,7 @@ func runEdge(f edgeFlags) {
 		ID: f.id, ClientAddr: f.listen, RootAddr: f.rootAddr,
 		Region: f.region, Dim: f.dim, Wire: f.wire,
 		MaxUpdateNorm: f.maxNorm, HeartbeatInterval: f.heartbeatInterval,
-		MaxRetries: f.retries, Seed: f.seed,
+		MaxRetries: f.retries, Seed: f.seed, Negotiation: f.negotiation,
 		Metrics: metrics, Events: events, Logf: log.Printf,
 	})
 	if err != nil {

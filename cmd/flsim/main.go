@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 
+	"adafl/internal/compress"
 	"adafl/internal/core"
 	"adafl/internal/dataset"
 	"adafl/internal/fl"
@@ -26,6 +27,31 @@ import (
 	"adafl/internal/stats"
 	"adafl/internal/trace"
 )
+
+// applyCodec fixes every client's uplink codec to the named one, each
+// client with its own instance (and, for the stochastic codecs, its own
+// RNG stream derived from the experiment seed).
+func applyCodec(fed *fl.Federation, name string, cfg core.Config, seed uint64) {
+	for i, c := range fed.Clients {
+		rng := stats.NewRNG(seed + 0x9e3779b97f4a7c15*uint64(i+1))
+		switch name {
+		case "dgc":
+			c.Codec = &compress.DGC{Momentum: cfg.DGCMomentum, ClipNorm: cfg.DGCClip, MsgClipFactor: cfg.DGCMsgClip}
+		case "dadaquant":
+			c.Codec = compress.NewDAdaQuant(15, 63, 8, rng)
+		case "qsgd":
+			c.Codec = compress.NewQSGD(15, rng)
+		case "terngrad":
+			c.Codec = compress.NewTernGrad(rng)
+		case "topk":
+			c.Codec = &compress.TopK{}
+		case "identity":
+			c.Codec = compress.Identity{}
+		default:
+			log.Fatalf("flsim: unknown codec %q", name)
+		}
+	}
+}
 
 func main() {
 	method := flag.String("method", "adafl", "fedavg|fedadam|fedprox|scaffold|adafl (sync) / fedasync|fedbuff|fedat|adafl (-async)")
@@ -42,6 +68,9 @@ func main() {
 	tracePath := flag.String("trace", "", "bandwidth trace CSV (time,multiplier per line) applied to every odd-indexed client")
 	scenarioPath := flag.String("scenario", "", "declarative scenario file (energy model, churn, device classes); drives device profiles, availability and bandwidth for the whole run (sync methods only)")
 	scenarioLog := flag.String("scenario-log", "", "append the deterministic per-round scenario schedule (JSONL) to this file; empty writes it nowhere")
+	codecName := flag.String("codec", "", "fix every client's uplink codec: dgc, dadaquant, qsgd, terngrad, topk or identity (empty keeps the method default; adafl defaults to dgc)")
+	negotiate := flag.Bool("negotiate", false, "adafl sync only: negotiate each selected client's codec+ratio per round from observed uplink bytes and the scenario's bandwidth (overrides -codec per round)")
+	linkName := flag.String("link", "wifi", "base link preset: ethernet, wifi, lte or constrained")
 	flag.Parse()
 
 	var fleet *scenario.Fleet
@@ -74,7 +103,19 @@ func main() {
 	newModel := func() *nn.Model {
 		return nn.NewImageMLP([]int{1, size, size}, []int{32}, 10, stats.NewRNG(modelSeed))
 	}
-	net := netsim.UniformNetwork(*clients, netsim.WiFiLink, *seed+3)
+	baseLink := netsim.WiFiLink
+	switch *linkName {
+	case "ethernet":
+		baseLink = netsim.EthernetLink
+	case "wifi":
+	case "lte":
+		baseLink = netsim.LTELink
+	case "constrained":
+		baseLink = netsim.ConstrainedLink
+	default:
+		log.Fatalf("flsim: unknown -link %q (ethernet, wifi, lte, constrained)", *linkName)
+	}
+	net := netsim.UniformNetwork(*clients, baseLink, *seed+3)
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
@@ -113,6 +154,7 @@ func main() {
 	if !*async {
 		var agg fl.Aggregator = fl.FedAvg{}
 		var planner fl.RoundPlanner = fl.NewFixedRatePlanner(*rate, 1, *seed+8)
+		var negotiator *core.Negotiator
 		switch *method {
 		case "fedavg":
 		case "fedadam":
@@ -129,9 +171,33 @@ func main() {
 			agg = fl.NewScaffold(1, *clients)
 		case "adafl":
 			adaCfg.AttachDGC(fed)
-			planner = core.NewSyncPlanner(adaCfg)
+			sp := core.NewSyncPlanner(adaCfg)
+			if *negotiate {
+				neg, err := core.NewNegotiator(core.DefaultNegotiation(), adaCfg.Compression)
+				if err != nil {
+					log.Fatalf("flsim: %v", err)
+				}
+				sp.Negotiator = neg
+				sp.NegotiationSeed = *seed + 9
+				negotiator = neg
+				if fleet != nil {
+					// Feed the negotiator the shared trace multiplier only:
+					// a class's static bandwidth asymmetry is already priced
+					// into selection, so deepening on it would over-compress
+					// slow-class clients every round instead of reacting to
+					// transient collapses.
+					sp.BandwidthMult = func(client, round int) float64 {
+						up, _ := fleet.LinkBandwidth(-1, round, 1, 1)
+						return up
+					}
+				}
+			}
+			planner = sp
 		default:
 			log.Fatalf("unknown sync method %q", *method)
+		}
+		if *codecName != "" {
+			applyCodec(fed, *codecName, adaCfg, *seed)
 		}
 		if fleet != nil {
 			if sp, ok := planner.(*core.SyncPlanner); ok {
@@ -151,6 +217,11 @@ func main() {
 		}
 		e := fl.NewSyncEngine(fed, agg, planner, *seed+6)
 		e.EvalEvery = 5
+		if negotiator != nil {
+			// Feed the negotiator the accepted uploads' wire bytes so its
+			// byte-pressure term has real observations.
+			e.OnUpload = negotiator.RecordUpload
+		}
 		e.RunRounds(*rounds)
 		hist, upBytes, updates = &e.Hist, e.TotalUplinkBytes(), e.TotalUpdates()
 	} else {

@@ -1,6 +1,11 @@
 package compress
 
-import "adafl/internal/tensor"
+import (
+	"fmt"
+	"math"
+
+	"adafl/internal/tensor"
+)
 
 // DGC implements Deep Gradient Compression (Lin et al. 2017), the codec
 // AdaFL's adaptive compression builds on. Per encode call it:
@@ -42,6 +47,16 @@ type DGC struct {
 	// scratch the quickselect buffer; both are recycled across Encode calls
 	// so a steady-state encode allocates only the outgoing message.
 	gbuf, scratch []float64
+
+	// Deferred-commit staging: Encode clears the transmitted coordinates of
+	// u/v optimistically, but the upload can still fail or be quarantined.
+	// The cleared mass is staged here until Commit (upload accepted) or
+	// Rollback (upload lost/rejected) — without it, a rejected round would
+	// silently destroy the error-feedback residual instead of retrying it.
+	pendingIdx  []int32
+	pendingVals []float64
+	pendingU    []float64
+	pending     bool
 }
 
 // NewDGC returns a DGC codec with the given momentum correction factor and
@@ -54,7 +69,31 @@ func NewDGC(momentum, clipNorm float64) *DGC {
 func (d *DGC) Name() string { return "dgc" }
 
 // Reset implements Codec.
-func (d *DGC) Reset() { d.u, d.v = nil, nil }
+func (d *DGC) Reset() {
+	d.u, d.v = nil, nil
+	d.pending = false
+}
+
+// Validate rejects configurations whose error-feedback arithmetic would
+// drift or explode: ResidualDecay outside [0, 1] (0 is the documented
+// "treat as 1" zero-struct default), a momentum at or above 1 (the u
+// accumulator diverges), or NaN/negative clip bounds. Call it where
+// configs are parsed; Encode itself stays unchecked on the hot path.
+func (d *DGC) Validate() error {
+	if math.IsNaN(d.ResidualDecay) || d.ResidualDecay < 0 || d.ResidualDecay > 1 {
+		return fmt.Errorf("compress: DGC ResidualDecay %v outside [0, 1]", d.ResidualDecay)
+	}
+	if math.IsNaN(d.Momentum) || d.Momentum < 0 || d.Momentum >= 1 {
+		return fmt.Errorf("compress: DGC Momentum %v outside [0, 1)", d.Momentum)
+	}
+	if math.IsNaN(d.ClipNorm) || d.ClipNorm < 0 {
+		return fmt.Errorf("compress: DGC ClipNorm %v negative or NaN", d.ClipNorm)
+	}
+	if math.IsNaN(d.MsgClipFactor) || d.MsgClipFactor < 0 {
+		return fmt.Errorf("compress: DGC MsgClipFactor %v negative or NaN", d.MsgClipFactor)
+	}
+	return nil
+}
 
 // AccumulatedNorm exposes the L2 norm of the residual accumulator, used by
 // tests and diagnostics to verify error feedback drains over time.
@@ -105,9 +144,43 @@ func (d *DGC) Encode(grad []float64, ratio float64) *Sparse {
 			tensor.ScaleVec(msg.Values, bound/n)
 		}
 	}
+	// Stage the state this clear destroys, then clear. A later Rollback
+	// restores it exactly; Commit (or the next Encode) discards the stage.
+	d.pendingIdx = append(d.pendingIdx[:0], msg.Indices...)
+	d.pendingVals = append(d.pendingVals[:0], msg.Values...)
+	if cap(d.pendingU) < len(msg.Indices) {
+		d.pendingU = make([]float64, len(msg.Indices))
+	}
+	d.pendingU = d.pendingU[:len(msg.Indices)]
+	for i, idx := range msg.Indices {
+		d.pendingU[i] = d.u[idx]
+	}
+	d.pending = true
 	for i, idx := range msg.Indices {
 		d.u[idx] = 0
 		d.v[idx] -= msg.Values[i]
 	}
 	return msg
+}
+
+// Commit finalises the most recent Encode: the transmitted mass was
+// accepted by the server and the staged undo state is discarded. Calling
+// Commit (or Rollback) twice is a no-op.
+func (d *DGC) Commit() { d.pending = false }
+
+// Rollback undoes the most recent Encode's error-feedback clear: the
+// transmitted values are returned to the accumulator v and the momentum
+// state u is restored, so a failed or quarantined upload's mass is
+// re-transmitted by the next accepted round instead of being destroyed.
+// Only the latest Encode can be rolled back; a newer Encode implicitly
+// commits its predecessor.
+func (d *DGC) Rollback() {
+	if !d.pending {
+		return
+	}
+	for i, idx := range d.pendingIdx {
+		d.u[idx] = d.pendingU[i]
+		d.v[idx] += d.pendingVals[i]
+	}
+	d.pending = false
 }

@@ -40,7 +40,31 @@ func (q *QSGD) Reset() {}
 // BitsPerCoordinate returns the wire cost of one quantized coordinate:
 // sign bit plus ⌈log2(Levels+1)⌉ magnitude bits.
 func (q *QSGD) BitsPerCoordinate() int {
-	return 1 + int(math.Ceil(math.Log2(float64(q.Levels)+1)))
+	return QuantBitsFor(q.Levels)
+}
+
+// QuantBitsFor returns the per-coordinate wire cost of an s-level
+// quantizer: a sign bit plus ⌈log2(s+1)⌉ magnitude bits (levels 0..s).
+func QuantBitsFor(levels int) int {
+	return 1 + int(math.Ceil(math.Log2(float64(levels)+1)))
+}
+
+// quantizeStochastic rounds g onto the levels-grid scaled by norm with
+// unbiased stochastic rounding and returns the reconstructed value,
+// exactly sign·norm·l/levels. The rng is drawn exactly once per call so
+// callers' draw sequences stay deterministic regardless of the value.
+// Shared by QSGD and DAdaQuant.
+func quantizeStochastic(rng *stats.RNG, norm, levels, g float64) float64 {
+	a := math.Abs(g) / norm * levels
+	l := math.Floor(a)
+	if rng.Float64() < a-l {
+		l++
+	}
+	val := norm * l / levels
+	if g < 0 {
+		val = -val
+	}
+	return val
 }
 
 // Encode implements Codec. The ratio argument is ignored: QSGD's
@@ -48,23 +72,15 @@ func (q *QSGD) BitsPerCoordinate() int {
 func (q *QSGD) Encode(grad []float64, _ float64) *Sparse {
 	norm := tensor.Norm2(grad)
 	out := NewSparseDense(grad)
+	out.QuantBits = q.BitsPerCoordinate()
+	out.QuantLevels = q.Levels
+	out.QuantNorm = norm
 	if norm == 0 {
-		out.quantizedBits = q.BitsPerCoordinate()
 		return out
 	}
 	s := float64(q.Levels)
 	for i, g := range grad {
-		a := math.Abs(g) / norm * s
-		l := math.Floor(a)
-		if q.rng.Float64() < a-l {
-			l++
-		}
-		val := norm * l / s
-		if g < 0 {
-			val = -val
-		}
-		out.Values[i] = val
+		out.Values[i] = quantizeStochastic(q.rng, norm, s, g)
 	}
-	out.quantizedBits = q.BitsPerCoordinate()
 	return out
 }

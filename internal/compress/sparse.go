@@ -33,10 +33,18 @@ type Sparse struct {
 	Indices []int32
 	Values  []float64
 
-	// quantizedBits, when nonzero, marks a dense message whose values are
-	// quantized to that many bits per coordinate (set by the QSGD codec);
-	// WireBytes accounts for the packed representation.
-	quantizedBits int
+	// QuantBits, when nonzero, marks a quantized message whose values cost
+	// that many bits per coordinate on the wire (sign bit + magnitude bits);
+	// WireBytes accounts for the packed representation at message
+	// granularity. Set by the QSGD/TernGrad/DAdaQuant codecs. The fields are
+	// exported so quantized accounting survives both wire codecs.
+	QuantBits int
+	// QuantLevels is the quantizer's level count s: every value is exactly
+	// sign·QuantNorm·l/s for an integer level l ∈ [0, s]. The binary wire
+	// codec relies on this contract to bit-pack values losslessly.
+	QuantLevels int
+	// QuantNorm is the scale scalar shipped alongside a quantized message.
+	QuantNorm float64
 }
 
 // NewSparseDense wraps a dense vector as a degenerate sparse message
@@ -56,10 +64,18 @@ func (s *Sparse) NNZ() int { return len(s.Indices) }
 
 // WireBytes returns the exact on-wire size of the message. A dense message
 // (NNZ == Dim) omits the index array, as a real implementation would.
+// Quantized messages (QuantBits > 0) are charged the packed representation:
+// the bit cost is ceiled to bytes once per message, not per coordinate, so
+// a 3-bit 1000-coordinate payload costs ⌈3000/8⌉ = 375 bytes, not 1000.
 func (s *Sparse) WireBytes() int {
-	if s.quantizedBits > 0 && s.NNZ() == s.Dim {
-		// Packed quantized form: norm scalar + bit-packed coordinates.
-		return headerBytes + BytesPerValue + (s.Dim*s.quantizedBits+7)/8
+	if s.QuantBits > 0 {
+		// Packed quantized form: norm scalar + bit-packed coordinates,
+		// plus the index run when the message is also sparsified.
+		n := headerBytes + BytesPerValue + (s.NNZ()*s.QuantBits+7)/8
+		if s.NNZ() != s.Dim {
+			n += s.NNZ() * BytesPerIndex
+		}
+		return n
 	}
 	if s.NNZ() == s.Dim {
 		return headerBytes + s.Dim*BytesPerValue
@@ -165,10 +181,17 @@ func DenseBytes(dim int) int { return headerBytes + dim*BytesPerValue }
 
 // KForRatio returns the number of coordinates to keep so that the sparse
 // wire size is (approximately) a factor ratio smaller than dense. The
-// result is clamped to [1, dim].
+// result is clamped to [1, dim]: even an absurdly deep (or +Inf) ratio
+// keeps one coordinate, so a negotiated ratio can never produce an empty
+// message that wastes the client's round. A NaN or sub-1 ratio means "no
+// compression" and returns dim (the conversion int(NaN) is unspecified in
+// Go, so NaN must be caught before the arithmetic).
 func KForRatio(dim int, ratio float64) int {
-	if ratio <= 1 {
+	if math.IsNaN(ratio) || ratio <= 1 {
 		return dim
+	}
+	if math.IsInf(ratio, 1) {
+		return 1
 	}
 	k := int(float64(dim*BytesPerValue) / (ratio * float64(BytesPerIndex+BytesPerValue)))
 	if k < 1 {
@@ -178,4 +201,18 @@ func KForRatio(dim int, ratio float64) int {
 		k = dim
 	}
 	return k
+}
+
+// ClampRatio forces a compression ratio into [lo, hi]. NaN collapses to lo,
+// so a poisoned negotiation input degrades to the mildest valid setting
+// instead of propagating. Used wherever a ratio crosses a trust boundary
+// (negotiated assignments, wire-decoded Select frames, flag parsing).
+func ClampRatio(ratio, lo, hi float64) float64 {
+	if math.IsNaN(ratio) || ratio < lo {
+		return lo
+	}
+	if ratio > hi {
+		return hi
+	}
+	return ratio
 }

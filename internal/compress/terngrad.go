@@ -42,7 +42,10 @@ func (t *TernGrad) Encode(grad []float64, _ float64) *Sparse {
 		}
 	}
 	out := NewSparseDense(grad)
-	out.quantizedBits = 2
+	// Values are sign·s·l/1 for l ∈ {0, 1}: a 1-level quantizer at 2 bits.
+	out.QuantBits = 2
+	out.QuantLevels = 1
+	out.QuantNorm = s
 	if s == 0 {
 		for i := range out.Values {
 			out.Values[i] = 0

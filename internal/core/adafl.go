@@ -7,6 +7,7 @@ import (
 	"adafl/internal/device"
 	"adafl/internal/fl"
 	"adafl/internal/obs"
+	"adafl/internal/stats"
 	"adafl/internal/tensor"
 )
 
@@ -86,6 +87,10 @@ func (c *Config) ScaleRatiosForModel(dim int) {
 // federation (AdaFL's compression builds on DGC; each client needs its own
 // accumulator state).
 func (c Config) AttachDGC(fed *fl.Federation) {
+	probe := compress.DGC{Momentum: c.DGCMomentum, ClipNorm: c.DGCClip, MsgClipFactor: c.DGCMsgClip}
+	if err := probe.Validate(); err != nil {
+		panic(err)
+	}
 	for _, cl := range fed.Clients {
 		cl.Codec = &compress.DGC{
 			Momentum:      c.DGCMomentum,
@@ -128,6 +133,22 @@ type SyncPlanner struct {
 	// sampling (low-battery clients are deprioritised).
 	ScoreMult func(client int) float64
 
+	// Negotiator, when non-nil, turns on per-round codec negotiation: the
+	// utility-ranked ratios become the baseline a deterministic link-state
+	// assignment refines, selected clients may be switched to the
+	// DAdaQuant codec, and each client's last assigned ratio feeds back
+	// into its utility score (Negotiator.ScoreMult).
+	Negotiator *Negotiator
+	// BandwidthMult returns the client's bandwidth multiplier for the
+	// round (the scenario class×trace product); nil means 1 everywhere.
+	// It must be a pure function of (client, round) for replay.
+	BandwidthMult func(client, round int) float64
+	// NegotiationSeed seeds the planner-owned DAdaQuant codecs'
+	// stochastic rounding (one derived stream per client).
+	NegotiationSeed uint64
+
+	dadaCodecs map[int]*compress.DAdaQuant
+
 	// lastSel records the round each client last participated, for the
 	// ExploreFrac fairness reservation.
 	lastSel []int
@@ -168,7 +189,7 @@ func (p *SyncPlanner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
 					p.PerfProfile.CyclesForFLOPs(device.DGCEncodeFLOPs(len(e.Global))))
 			}
 		}
-		return out
+		return p.negotiate(round, out)
 	}
 
 	scores := make([]float64, n)
@@ -188,6 +209,9 @@ func (p *SyncPlanner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
 		scores[i] = p.Cfg.Utility.Score(up, down, local, e.LastGlobalDelta)
 		if p.ScoreMult != nil {
 			scores[i] *= p.ScoreMult(i)
+		}
+		if p.Negotiator != nil {
+			scores[i] *= p.Negotiator.ScoreMult(i)
 		}
 		scoreHist.Observe(scores[i])
 		if p.Perf != nil {
@@ -246,7 +270,7 @@ func (p *SyncPlanner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
 			ratioHist.Observe(ratio)
 			p.lastSel[i] = round
 		}
-		return out
+		return p.negotiate(round, out)
 	}
 	out := make([]fl.Participation, 0, len(selected))
 	for rank, sc := range selected {
@@ -260,7 +284,59 @@ func (p *SyncPlanner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
 				p.PerfProfile.CyclesForFLOPs(device.DGCEncodeFLOPs(len(e.LastGlobalDelta))))
 		}
 	}
+	return p.negotiate(round, out)
+}
+
+// negotiate refines a planned participation list through the negotiator:
+// the utility-ranked ratio becomes the baseline, the round's bandwidth
+// multiplier and byte history refine it, and clients switched to the
+// quantizing codec get the planner-owned per-client DAdaQuant instance
+// attached. A nil negotiator returns the plan untouched, so existing
+// sessions replay bit-identically.
+func (p *SyncPlanner) negotiate(round int, out []fl.Participation) []fl.Participation {
+	if p.Negotiator == nil {
+		return out
+	}
+	plan := make(map[int]float64, len(out))
+	for _, pt := range out {
+		plan[pt.Client] = pt.Ratio
+	}
+	var bw func(int) float64
+	if p.BandwidthMult != nil {
+		bw = func(id int) float64 { return p.BandwidthMult(id, round) }
+	}
+	asn := p.Negotiator.Assign(round, plan, bw)
+	for i := range out {
+		a, ok := asn[out[i].Client]
+		if !ok {
+			continue
+		}
+		out[i].Ratio = a.Ratio
+		if a.Codec == CodecDAdaQuant {
+			out[i].Codec = p.dadaCodec(out[i].Client, round, a.Levels)
+		}
+	}
 	return out
+}
+
+// dadaCodec returns the planner-owned DAdaQuant instance for the client,
+// pinned to the assigned level count and round. Each client gets its own
+// derived RNG stream so stochastic rounding replays per client no matter
+// which rounds it is selected in.
+func (p *SyncPlanner) dadaCodec(client, round, levels int) compress.Codec {
+	if p.dadaCodecs == nil {
+		p.dadaCodecs = make(map[int]*compress.DAdaQuant)
+	}
+	d := p.dadaCodecs[client]
+	if d == nil {
+		cfg := p.Negotiator.Config()
+		rng := stats.NewRNG(p.NegotiationSeed + 0x9e3779b97f4a7c15*uint64(client+1))
+		d = compress.NewDAdaQuant(cfg.MinLevels, cfg.MaxLevels, cfg.LevelDoubleEvery, rng)
+		p.dadaCodecs[client] = d
+	}
+	d.SetRound(round)
+	d.SetLevels(levels)
+	return d
 }
 
 // AsyncGate is AdaFL's client-side utility gating for the asynchronous

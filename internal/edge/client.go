@@ -142,7 +142,16 @@ func runClientOnce(cfg ClientsConfig, id int, upd *compress.Sparse) (done, progr
 		}
 		switch env.Type {
 		case rpc.MsgSelect:
-			rpc.FleetUpdate(upd, cfg.Seed, env.Round, id, cfg.Dim, cfg.Nnz)
+			// A negotiated select carries a ratio; shrink the synthetic
+			// update accordingly (deterministic given the assignment) so
+			// the edge's load ranking has real bytes to observe.
+			nnz := cfg.Nnz
+			if env.Ratio > 1 {
+				if k := compress.KForRatio(cfg.Dim, env.Ratio); k < nnz {
+					nnz = k
+				}
+			}
+			rpc.FleetUpdate(upd, cfg.Seed, env.Round, id, cfg.Dim, nnz)
 			if err := conn.Send(&rpc.Envelope{Type: rpc.MsgUpdate, ClientID: id, Round: env.Round, Update: upd}); err != nil {
 				return false, progressed, err
 			}

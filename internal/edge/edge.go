@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"adafl/internal/core"
 	"adafl/internal/obs"
 	"adafl/internal/rpc"
 	"adafl/internal/shard"
@@ -68,6 +69,12 @@ type EdgeConfig struct {
 	// arrives, before the edge broadcasts it to its clients — the chaos
 	// suite's mid-round kill hook.
 	OnSelect func(round int)
+	// Negotiation, when Enabled, turns on per-round codec negotiation on
+	// the edge's client-facing select broadcasts: the roster is ranked by
+	// observed uplink volume (EWMA wire bytes) and the heaviest senders
+	// are assigned the deepest compression (core.AssignByLoad). Without
+	// it every client gets the legacy Ratio-1 select.
+	Negotiation core.NegotiationConfig
 }
 
 // EdgeResult summarises one edge session.
@@ -101,6 +108,7 @@ type Edge struct {
 	round int // current round, written by the run loop, read by heartbeats (under mu)
 	res   EdgeResult
 
+	neg *core.Negotiator // client-facing codec negotiator (nil when disabled)
 	met edgeMetrics
 }
 
@@ -134,6 +142,16 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
+	var neg *core.Negotiator
+	if cfg.Negotiation.Enabled {
+		var err error
+		// The edge has no utility-ranked plan; load ranking drives the
+		// default controller's ratio ladder.
+		neg, err = core.NewNegotiator(cfg.Negotiation, core.DefaultController())
+		if err != nil {
+			return nil, err
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -142,6 +160,7 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 		cfg:     cfg,
 		ln:      ln,
 		clients: map[int]*edgeClient{},
+		neg:     neg,
 		met:     newEdgeMetrics(cfg.Metrics, cfg.ID),
 	}, nil
 }
@@ -313,9 +332,23 @@ func (e *Edge) runRound(root *rpc.Conn, round int, part *shard.Partial) error {
 	e.mu.Unlock()
 	e.met.clients.Set(float64(len(roster)))
 
-	sel := &rpc.Envelope{Type: rpc.MsgSelect, Round: round, Ratio: 1}
+	// Negotiated path: rank the roster by observed uplink volume and
+	// assign the heaviest senders the deepest compression. Without a
+	// negotiator every client gets the legacy Ratio-1 select.
+	var assigns map[int]core.CodecAssignment
+	if e.neg != nil {
+		ids := make([]int, 0, len(roster))
+		for _, c := range roster {
+			ids = append(ids, c.id)
+		}
+		assigns = e.neg.AssignByLoad(round, ids)
+	}
 	live := roster[:0]
 	for _, c := range roster {
+		sel := &rpc.Envelope{Type: rpc.MsgSelect, Round: round, Ratio: 1}
+		if a, ok := assigns[c.id]; ok {
+			sel.Ratio, sel.Codec, sel.Levels = a.Ratio, a.Codec, a.Levels
+		}
 		if err := c.conn.Send(sel); err != nil {
 			e.dropClient(c, fmt.Errorf("select broadcast: %w", err))
 			continue
@@ -347,6 +380,11 @@ func (e *Edge) runRound(root *rpc.Conn, round int, part *shard.Partial) error {
 		case r.env.Type != rpc.MsgUpdate || r.env.Round != round:
 			e.dropClient(r.c, fmt.Errorf("expected round-%d update, got %v round %d", round, r.env.Type, r.env.Round))
 		default:
+			if e.neg != nil && r.env.Update != nil {
+				// Per-client EWMA fold: order-independent across clients,
+				// so receipt order cannot perturb future assignments.
+				e.neg.RecordUpload(r.c.id, r.env.Update.WireBytes())
+			}
 			items = append(items, shard.Item{Client: r.c.id, Upd: r.env.Update})
 		}
 	}

@@ -51,6 +51,10 @@ type SyncEngine struct {
 	// ShardQueueDepth overrides the per-shard ingest queue depth
 	// (default shard.DefaultQueueDepth).
 	ShardQueueDepth int
+	// OnUpload, when non-nil, observes each accepted upload's (client,
+	// wire bytes) in plan order — the codec negotiator's deterministic
+	// byte-history feed.
+	OnUpload func(client, bytes int)
 
 	// Global is the flat global parameter vector.
 	Global []float64
@@ -157,7 +161,11 @@ func (e *SyncEngine) RunRound() {
 			}
 			delta, ctrl := c.TrainRound(replicas[i], scaffC)
 			r.ctrl = ctrl
-			r.msg = c.EncodeDelta(delta, p.Ratio)
+			if p.Codec != nil {
+				r.msg = p.Codec.Encode(delta, p.Ratio)
+			} else {
+				r.msg = c.EncodeDelta(delta, p.Ratio)
+			}
 			r.ulBytes = r.msg.WireBytes()
 			var ulDur float64
 			ulDur, r.ulLost = e.Fed.Net.Transfer(c.ID, netsim.Uplink, r.ulBytes, e.now)
@@ -197,6 +205,9 @@ func (e *SyncEngine) RunRound() {
 		updates = append(updates, u)
 		e.ClientUpdates[p.Client]++
 		e.updates++
+		if e.OnUpload != nil {
+			e.OnUpload(p.Client, r.ulBytes)
+		}
 	}
 	if deadlineHit && e.MaxWait > 0 && e.MaxWait > roundDur {
 		roundDur = e.MaxWait

@@ -46,6 +46,10 @@ type Participation struct {
 	Client int
 	// Ratio is the requested uplink compression ratio (1 = uncompressed).
 	Ratio float64
+	// Codec, when non-nil, overrides the client's own codec for this round
+	// — the negotiated per-round codec assignment. The planner owns the
+	// instance (and its state) and must hand each client its own.
+	Codec compress.Codec
 }
 
 // RoundStats is one row of an engine's training history.

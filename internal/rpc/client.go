@@ -42,6 +42,11 @@ type ClientConfig struct {
 	// and client agree without coordination). The static UpBps still
 	// drives the uplink throttle.
 	Bandwidth func(round int) (upBps, downBps float64)
+	// Codec names the default uplink codec: "" or "dgc" (momentum-
+	// corrected top-k with error feedback), "dadaquant", "qsgd",
+	// "terngrad", "topk" or "identity". A negotiated Select assignment
+	// overrides it per round.
+	Codec string
 	// DGC configures the uplink codec.
 	DGCMomentum, DGCClip, DGCMsgClip float64
 	// Seed drives batching.
@@ -108,7 +113,10 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	if cfg.Wire != "" && cfg.Wire != WireBinary && cfg.Wire != WireGob {
 		return nil, fmt.Errorf("rpc: unknown wire codec %q (want %q or %q)", cfg.Wire, WireBinary, WireGob)
 	}
-	sess := newClientSession(cfg)
+	sess, err := newClientSession(cfg)
+	if err != nil {
+		return nil, err
+	}
 	// Jitter from a stream decorrelated from the batch iterator's: both
 	// derive from Seed, but Split mixes the state so the redial schedule
 	// does not echo the batch order.
@@ -138,30 +146,118 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	}
 }
 
+// rollbackCodec is the deferred-commit surface of an error-feedback codec
+// (DGC): an encode stays staged until the upload is known to have landed,
+// so a failed or rejected upload can return its mass to the residuals.
+type rollbackCodec interface {
+	Rollback()
+	Commit()
+}
+
 // clientSession holds the state that survives reconnects.
 type clientSession struct {
 	cfg   ClientConfig
 	model *nn.Model
 	opt   *nn.SGD
 	iter  *dataset.Iterator
-	codec *compress.DGC
-	res   *ClientResult
-	met   clientMetrics
+	codec compress.Codec      // default uplink codec (ClientConfig.Codec)
+	dgc   *compress.DGC       // negotiated-dgc instance (the default one when it is a DGC)
+	dada  *compress.DAdaQuant // negotiated quantizer, built on first assignment
+	// pending is the codec with a staged, uncommitted encode: committed
+	// when the next receive proves the server took the upload, rolled
+	// back when the connection dies first (the server evicted us or the
+	// link failed — either way the update never joined the aggregate).
+	pending rollbackCodec
+	res     *ClientResult
+	met     clientMetrics
 	// gobOnly is sticky across reconnects: once the server declines the
 	// binary preamble there is no point renegotiating on every redial.
 	gobOnly bool
 }
 
-func newClientSession(cfg ClientConfig) *clientSession {
-	return &clientSession{
+// newUplinkCodec builds the named default codec. The stochastic codecs
+// get RNG streams decorrelated from the batch iterator's by fixed salts.
+func newUplinkCodec(cfg ClientConfig) (compress.Codec, error) {
+	switch cfg.Codec {
+	case "", "dgc":
+		d := &compress.DGC{Momentum: cfg.DGCMomentum, ClipNorm: cfg.DGCClip, MsgClipFactor: cfg.DGCMsgClip}
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case "dadaquant":
+		return compress.NewDAdaQuant(15, 63, 8, stats.NewRNG(cfg.Seed^0xdada)), nil
+	case "qsgd":
+		return compress.NewQSGD(15, stats.NewRNG(cfg.Seed^0x95bd)), nil
+	case "terngrad":
+		return compress.NewTernGrad(stats.NewRNG(cfg.Seed ^ 0x7e26)), nil
+	case "topk":
+		return &compress.TopK{}, nil
+	case "identity":
+		return compress.Identity{}, nil
+	}
+	return nil, fmt.Errorf("rpc: unknown uplink codec %q", cfg.Codec)
+}
+
+func newClientSession(cfg ClientConfig) (*clientSession, error) {
+	codec, err := newUplinkCodec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &clientSession{
 		cfg:     cfg,
 		model:   cfg.NewModel(),
 		opt:     nn.NewSGD(cfg.LR, cfg.Momentum, 0),
 		iter:    dataset.NewIterator(cfg.Data, cfg.BatchSize, stats.NewRNG(cfg.Seed)),
-		codec:   &compress.DGC{Momentum: cfg.DGCMomentum, ClipNorm: cfg.DGCClip, MsgClipFactor: cfg.DGCMsgClip},
+		codec:   codec,
 		res:     &ClientResult{},
 		met:     newClientMetrics(cfg.Metrics),
 		gobOnly: cfg.Wire == WireGob,
+	}
+	if d, ok := codec.(*compress.DGC); ok {
+		s.dgc = d
+	}
+	if d, ok := codec.(*compress.DAdaQuant); ok {
+		s.dada = d
+	}
+	return s, nil
+}
+
+// negotiatedCodec resolves a Select assignment's codec name against the
+// session's instances, building them on first use. An empty name is the
+// session default; an unknown one is a protocol violation (the server
+// and client disagree on the negotiation vocabulary).
+func (s *clientSession) negotiatedCodec(name string) (compress.Codec, error) {
+	switch name {
+	case "", s.codec.Name():
+		return s.codec, nil
+	case core.CodecDGC:
+		if s.dgc == nil {
+			s.dgc = &compress.DGC{Momentum: s.cfg.DGCMomentum, ClipNorm: s.cfg.DGCClip, MsgClipFactor: s.cfg.DGCMsgClip}
+		}
+		return s.dgc, nil
+	case core.CodecDAdaQuant:
+		if s.dada == nil {
+			// Wide bounds: the server's explicit per-round level count
+			// (clamped by SetLevels) is the real control.
+			s.dada = compress.NewDAdaQuant(1, 1<<20, 8, stats.NewRNG(s.cfg.Seed^0xdada))
+		}
+		return s.dada, nil
+	}
+	return nil, fmt.Errorf("unknown negotiated codec %q", name)
+}
+
+func (s *clientSession) commitPending() {
+	if s.pending != nil {
+		s.pending.Commit()
+		s.pending = nil
+	}
+}
+
+func (s *clientSession) rollbackPending() {
+	if s.pending != nil {
+		s.pending.Rollback()
+		s.pending = nil
 	}
 }
 
@@ -231,8 +327,16 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 	for {
 		e := &env
 		if err := conn.RecvInto(e); err != nil {
+			// A staged error-feedback encode whose upload was never
+			// acknowledged by further traffic returns its mass to the
+			// residuals: the server evicted us (quarantine, deadline) or
+			// the link died, so the update never joined the aggregate.
+			s.rollbackPending()
 			return false, progressed, fmt.Errorf("rpc: client %d recv: %w", cfg.ID, err)
 		}
+		// Any message after an upload proves the server kept us in the
+		// session — the staged encode is spent for good.
+		s.commitPending()
 		progressed = true
 		switch e.Type {
 		case MsgShutdown:
@@ -298,9 +402,30 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 				s.met.withheld.Inc()
 				continue // withheld this round
 			}
-			msg := s.codec.Encode(delta, sel.Ratio)
+			// Honor the negotiated assignment: codec by name, ratio
+			// clamped against hostile or corrupt frames (NaN maps to 1 —
+			// upload uncompressed rather than explode), level count
+			// applied to the quantizer (which clamps it to its bounds).
+			enc, cerr := s.negotiatedCodec(sel.Codec)
+			if cerr != nil {
+				return false, true, fmt.Errorf("rpc: client %d: %v: %w", cfg.ID, cerr, errProtocol)
+			}
+			ratio := compress.ClampRatio(sel.Ratio, 1, 1e9)
+			if d, ok := enc.(*compress.DAdaQuant); ok {
+				d.SetRound(sel.Round)
+				d.SetLevels(sel.Levels)
+			}
+			msg := enc.Encode(delta, ratio)
 			if err := conn.Send(&Envelope{Type: MsgUpdate, ClientID: cfg.ID, Round: e.Round, Update: msg}); err != nil {
+				// The send never completed: the staged encode rolls back
+				// immediately so the redialled session re-transmits it.
+				if rb, ok := enc.(rollbackCodec); ok {
+					rb.Rollback()
+				}
 				return false, true, err
+			}
+			if rb, ok := enc.(rollbackCodec); ok {
+				s.pending = rb
 			}
 			s.res.Uploads++
 			s.met.uploads.Inc()

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"io"
+	"math"
 	"net"
 	"reflect"
 	"testing"
@@ -38,6 +39,7 @@ func fixtureEnvelopes() []*Envelope {
 		{Type: MsgModel, Round: 7, Params: []float64{0.5, -1.25, 3}, GlobalDelta: []float64{1e-3, -2e-3}},
 		{Type: MsgScore, ClientID: 2, Round: 7, Score: 0.8125},
 		{Type: MsgSelect, Round: 7, Ratio: 12.5},
+		{Type: MsgSelect, ClientID: 4, Round: 7, Ratio: 20, Codec: "dadaquant", Levels: 15},
 		{Type: MsgUpdate, ClientID: 1, Round: 7, Update: &compress.Sparse{Dim: 8, Indices: []int32{0, 3, 7}, Values: []float64{1, -2, 0.5}}},
 		{Type: MsgShutdown, Info: "done: 30 rounds"},
 		{Type: MsgWelcome, Round: 4},
@@ -149,6 +151,25 @@ func FuzzWireDecode(f *testing.F) {
 		case MsgReroute:
 			mut := append([]byte(nil), raw...)
 			binary.LittleEndian.PutUint32(mut[14:], 0xfffffff0) // address length lies
+			f.Add(mut)
+		case MsgSelect:
+			if e.Codec == "" {
+				continue
+			}
+			// Hostile negotiation frames (ratio@14, codecLen@22,
+			// levels after the name): a codec length that lies about
+			// the body, a NaN ratio, and out-of-range level counts.
+			mut := append([]byte(nil), raw...)
+			mut[22] = 0xff // declared codec name overruns the body
+			f.Add(mut)
+			mut = append([]byte(nil), raw...)
+			binary.LittleEndian.PutUint64(mut[14:], math.Float64bits(math.NaN()))
+			f.Add(mut)
+			mut = append([]byte(nil), raw...)
+			binary.LittleEndian.PutUint32(mut[23+len(e.Codec):], 0xffffffff) // negative levels
+			f.Add(mut)
+			mut = append([]byte(nil), raw...)
+			binary.LittleEndian.PutUint32(mut[23+len(e.Codec):], 0x7fffffff) // absurd levels
 			f.Add(mut)
 		}
 	}

@@ -23,7 +23,11 @@ type serverMetrics struct {
 	ckptSec       *obs.Histogram // adafl_checkpoint_seconds
 	ckptBytes     *obs.Gauge     // adafl_checkpoint_bytes
 	scores        *obs.Histogram // adafl_utility_score
-	ratios        *obs.Histogram // adafl_compression_ratio
+	ratios        *obs.Histogram // adafl_compression_ratio (planned, from the selector)
+	updRatios     *obs.Histogram // adafl_update_compression_ratio (achieved, from received wire bytes)
+	negRatios     *obs.Histogram // adafl_negotiated_ratio (assigned by the negotiator)
+	codecDGC      *obs.Counter   // adafl_codec_assigned_total{codec="dgc"}
+	codecDAda     *obs.Counter   // adafl_codec_assigned_total{codec="dadaquant"}
 	accuracy      *obs.Gauge     // adafl_round_accuracy (last evaluated)
 	clients       *obs.Gauge     // adafl_round_clients
 	selected      *obs.Gauge     // adafl_round_selected
@@ -49,6 +53,10 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		ckptBytes:     r.Gauge("adafl_checkpoint_bytes"),
 		scores:        r.Histogram("adafl_utility_score", obs.ScoreBuckets),
 		ratios:        r.Histogram("adafl_compression_ratio", obs.RatioBuckets),
+		updRatios:     r.Histogram("adafl_update_compression_ratio", obs.RatioBuckets),
+		negRatios:     r.Histogram("adafl_negotiated_ratio", obs.RatioBuckets),
+		codecDGC:      r.Counter(`adafl_codec_assigned_total{codec="dgc"}`),
+		codecDAda:     r.Counter(`adafl_codec_assigned_total{codec="dadaquant"}`),
 		accuracy:      r.Gauge("adafl_round_accuracy"),
 		clients:       r.Gauge("adafl_round_clients"),
 		selected:      r.Gauge("adafl_round_selected"),

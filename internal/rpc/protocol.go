@@ -99,6 +99,14 @@ type Envelope struct {
 	Score float64
 	Ratio float64
 
+	// MsgSelect (negotiated codec assignment). Codec names the uplink
+	// codec the client must use this round ("" = the client's default);
+	// Levels is the quantization level count for level-adaptive codecs
+	// (0 = codec default). Both zero-valued fields encode as the legacy
+	// 8-byte Select body, so pre-negotiation peers interoperate.
+	Codec  string
+	Levels int
+
 	// MsgUpdate
 	Update *compress.Sparse
 

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -143,6 +144,21 @@ type ServerConfig struct {
 	// event log, these lines are byte-identical across runs of the same
 	// scenario — the observable the golden replay tests compare.
 	ScenarioLog io.Writer
+	// Negotiation, when Enabled, turns on per-round codec negotiation:
+	// each selected client's Select broadcast carries a codec+ratio (and,
+	// for the quantizing codec, a level count) derived from its observed
+	// link state — EWMA uplink bytes, the scenario's bandwidth multiplier
+	// for the round, and the utility-ranked plan. Assignments are a pure
+	// function of (config, round, plan, recorded history), so negotiated
+	// sessions replay byte-identically and survive checkpoint/resume; the
+	// negotiator's state joins the session snapshot and a resume under a
+	// different negotiation config is refused.
+	Negotiation core.NegotiationConfig
+	// AssignLog, when non-nil, receives one deterministic JSONL record
+	// per negotiated round listing the assignments sorted by client id.
+	// Like ScenarioLog, lines are byte-identical across replays of the
+	// same session — the observable the negotiation golden tests compare.
+	AssignLog io.Writer
 	// RNG, when non-nil, is the session RNG: server-side stochastic
 	// decisions must draw from it so that its position can be captured
 	// in checkpoints and resumed sessions replay identically. The
@@ -221,6 +237,7 @@ type Server struct {
 	quarantines        []QuarantineRecord // touched only by the round loop goroutine
 	quarantinesDropped int                // records discarded by the log cap
 	tree               *shard.Tree        // streaming aggregation tree (nil when Shards == 0)
+	neg                *core.Negotiator   // codec negotiator (nil when Negotiation disabled)
 }
 
 // DefaultQuarantineLogCap bounds the quarantine log when
@@ -299,6 +316,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var neg *core.Negotiator
+	if cfg.Negotiation.Enabled {
+		neg, err = core.NewNegotiator(cfg.Negotiation, cfg.Cfg.Compression)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
 		listener: ln,
@@ -306,6 +331,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		pending:  map[int]*clientConn{},
 		seen:     map[int]bool{},
 		met:      newServerMetrics(cfg.Metrics),
+		neg:      neg,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -393,6 +419,23 @@ func (s *Server) Run() (*ServerResult, error) {
 				}
 			} else if snap.Scenario != nil {
 				s.cfg.Logf("server: resume: ignoring scenario state %q in snapshot (no -scenario configured)", snap.Scenario.Name)
+			}
+			// Negotiation state must match exactly: the assignment stream is
+			// a pure function of (config, history), so resuming with
+			// negotiation toggled or reconfigured would silently diverge
+			// from the uninterrupted run. Restore refuses a config mismatch.
+			switch {
+			case s.neg != nil && snap.Negotiation != nil:
+				if err := s.neg.Restore(snap.Negotiation); err != nil {
+					s.listener.Close()
+					return nil, fmt.Errorf("rpc: resume from %s: %w", s.checkpointPath(), err)
+				}
+			case s.neg != nil:
+				s.listener.Close()
+				return nil, fmt.Errorf("rpc: resume from %s: snapshot has no negotiation state but negotiation is enabled; rerun without -negotiate or start fresh", s.checkpointPath())
+			case snap.Negotiation != nil:
+				s.listener.Close()
+				return nil, fmt.Errorf("rpc: resume from %s: snapshot is from a negotiated session; rerun with -negotiate and the same negotiation flags", s.checkpointPath())
 			}
 			s.cfg.Logf("server: resumed session at round %d (%d rounds restored, final acc so far %.3f)",
 				startRound+1, len(snap.History), snap.FinalAcc)
@@ -752,6 +795,15 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 		}
 	}
 
+	// Negotiation feedback: a client whose last assignment compressed at
+	// the deep end of the range ranks higher, so cheap-to-upload clients
+	// win ties in Algorithm 1.
+	if s.neg != nil {
+		for id := range scores {
+			scores[id] *= s.neg.ScoreMult(id)
+		}
+	}
+
 	// Phase 3+4: selection, then concurrent notify + update collection.
 	plan := sel.plan(round, scores)
 	rec.Selected = len(plan)
@@ -760,6 +812,26 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 	}
 	for _, ratio := range plan {
 		s.met.ratios.Observe(ratio)
+	}
+	var assigns map[int]core.CodecAssignment
+	if s.neg != nil {
+		var bw func(int) float64
+		if sc := s.cfg.Scenario; sc != nil {
+			bw = func(id int) float64 {
+				up, _ := sc.LinkBandwidth(id, round, 1, 1)
+				return up
+			}
+		}
+		assigns = s.neg.Assign(round, plan, bw)
+		for _, a := range assigns {
+			if a.Codec == core.CodecDAdaQuant {
+				s.met.codecDAda.Inc()
+			} else {
+				s.met.codecDGC.Inc()
+			}
+			s.met.negRatios.Observe(a.Ratio)
+		}
+		s.logAssignments(round, assigns)
 	}
 	s.cfg.Events.Emit(obs.Event{Type: "selection", Round: round, Client: -1, Scores: scores, Ratios: plan})
 	updatePhaseStart := time.Now()
@@ -772,8 +844,15 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 	for _, c := range alive {
 		c := c
 		ratio := plan[c.id] // 0 when not selected this round
+		sel := &Envelope{Type: MsgSelect, Round: round, Ratio: ratio}
+		if a, ok := assigns[c.id]; ok {
+			// Negotiated order: the assignment's codec+ratio (and level
+			// count) supersede the plan's bare ratio.
+			sel.Ratio, sel.Codec, sel.Levels = a.Ratio, a.Codec, a.Levels
+			ratio = a.Ratio
+		}
 		go func() {
-			if err := s.sendTimed(c, &Envelope{Type: MsgSelect, Round: round, Ratio: ratio}); err != nil {
+			if err := s.sendTimed(c, sel); err != nil {
 				updCh <- updRes{c: c, err: err}
 				return
 			}
@@ -820,6 +899,12 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 		}
 		if r.upd != nil {
 			connByID[r.c.id] = r.c
+			if s.neg != nil {
+				// Per-client EWMA fold: order-independent across clients,
+				// so receipt order cannot perturb the replayed assignments.
+				s.neg.RecordUpload(r.c.id, r.upd.WireBytes())
+			}
+			s.met.updRatios.Observe(r.upd.CompressionRatio())
 			if sc := s.cfg.Scenario; sc != nil {
 				// Energy accounting: one round of training plus the
 				// update's wire bytes, against the client's class battery.
@@ -845,6 +930,10 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 	if s.tree != nil {
 		part, quarantined = s.tree.Finish()
 	} else {
+		// Fold in client-id order, not receipt order: float accumulation is
+		// not associative, and the negotiated golden-replay contract needs
+		// two identical sessions to produce bit-identical globals.
+		sort.Slice(received, func(i, j int) bool { return received[i].clientID < received[j].clientID })
 		var kept []roundUpdate
 		kept, quarantined = screenUpdates(round, len(global), s.cfg.MaxUpdateNorm, received, s.cfg.Logf)
 		part = shard.NewPartial(len(global))
@@ -914,6 +1003,34 @@ func (s *Server) runRound(round int, sel *serverSelector, model *nn.Model,
 	return rec
 }
 
+// logAssignments writes one JSONL record for the round's negotiated
+// assignments, sorted by client id. The encoding is hand-rolled and
+// wall-clock-free so the lines are byte-identical across replays of the
+// same session (the golden observable, like ScenarioLog).
+func (s *Server) logAssignments(round int, asn map[int]core.CodecAssignment) {
+	if s.cfg.AssignLog == nil || len(asn) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(asn))
+	for id := range asn {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"round":%d,"assign":[`, round)
+	for i, id := range ids {
+		a := asn[id]
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"client":%d,"codec":%q,"ratio":%g,"levels":%d}`, id, a.Codec, a.Ratio, a.Levels)
+	}
+	b.WriteString("]}\n")
+	if _, err := io.WriteString(s.cfg.AssignLog, b.String()); err != nil {
+		s.cfg.Logf("server: round %d: assignment log write failed: %v", round+1, err)
+	}
+}
+
 func (s *Server) shutdown(info string) {
 	s.mu.Lock()
 	s.closing = true
@@ -967,6 +1084,11 @@ type sessionSnapshot struct {
 	// latches, integration clock) as of the completed round; nil when the
 	// session runs without a scenario. Older snapshots decode with nil.
 	Scenario *scenario.State
+	// Negotiation is the codec negotiator's config and per-client link
+	// history; nil when negotiation is disabled. A resume must carry the
+	// same negotiation configuration (including enabled-ness) or it is
+	// refused — the assignment stream would silently diverge otherwise.
+	Negotiation *core.NegotiationState
 }
 
 func (s *Server) checkpointPath() string {
@@ -987,6 +1109,10 @@ func (s *Server) saveCheckpoint(round int, global, globalDelta []float64,
 	if s.cfg.Scenario != nil {
 		scenState = s.cfg.Scenario.Snapshot()
 	}
+	var negState *core.NegotiationState
+	if s.neg != nil {
+		negState = s.neg.Snapshot()
+	}
 	return checkpoint.SaveSized(s.checkpointPath(), &sessionSnapshot{
 		CompletedRound:     round,
 		ParamDim:           len(global),
@@ -1004,6 +1130,7 @@ func (s *Server) saveCheckpoint(round int, global, globalDelta []float64,
 		RNG:                s.cfg.RNG,
 		ShardState:         treeState,
 		Scenario:           scenState,
+		Negotiation:        negState,
 	})
 }
 

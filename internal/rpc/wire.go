@@ -21,6 +21,7 @@ import (
 //	  Welcome   (empty)
 //	  Score     f64 LE score
 //	  Select    f64 LE ratio
+//	            | [u8 codecLen | codec name | u32 LE levels]   (negotiated)
 //	  Update    sparse section (see internal/compress wire layout)
 //	  Shutdown  u32 LE len | UTF-8 info
 //	  Model     u32 LE nParams | u32 LE nDelta | nParams × f64 | nDelta × f64
@@ -84,8 +85,19 @@ func (e *Envelope) wirePayloadSize() (int, error) {
 	case MsgHello:
 		n += 4
 	case MsgWelcome:
-	case MsgScore, MsgSelect:
+	case MsgScore:
 		n += 8
+	case MsgSelect:
+		n += 8
+		if e.Codec != "" || e.Levels != 0 {
+			// Negotiated extension: u8 codecLen | name | u32 levels. A
+			// zero-valued assignment keeps the legacy 8-byte body so
+			// pre-negotiation decoders still accept the frame.
+			if len(e.Codec) > 255 {
+				return 0, fmt.Errorf("rpc: send select with %d-byte codec name", len(e.Codec))
+			}
+			n += 1 + len(e.Codec) + 4
+		}
 	case MsgShutdown:
 		n += 4 + len(e.Info)
 	case MsgModel:
@@ -130,6 +142,11 @@ func (c *Conn) sendBinary(e *Envelope) error {
 		h = binary.LittleEndian.AppendUint64(h, math.Float64bits(e.Score))
 	case MsgSelect:
 		h = binary.LittleEndian.AppendUint64(h, math.Float64bits(e.Ratio))
+		if e.Codec != "" || e.Levels != 0 {
+			h = append(h, byte(len(e.Codec)))
+			h = append(h, e.Codec...)
+			h = binary.LittleEndian.AppendUint32(h, uint32(int32(e.Levels)))
+		}
 	case MsgShutdown:
 		h = binary.LittleEndian.AppendUint32(h, uint32(len(e.Info)))
 	case MsgModel:
@@ -266,10 +283,22 @@ func (c *Conn) decodeFrame(e *Envelope, p []byte, fresh bool) error {
 		}
 		e.Score = math.Float64frombits(binary.LittleEndian.Uint64(body))
 	case MsgSelect:
-		if err := need(8); err != nil {
-			return err
+		if len(body) < 8 {
+			return fmt.Errorf("%w: select body of %d bytes", errWireFrame, len(body))
 		}
 		e.Ratio = math.Float64frombits(binary.LittleEndian.Uint64(body))
+		if len(body) > 8 {
+			// Negotiated extension: u8 codecLen | name | u32 levels.
+			cl := int(body[8])
+			if err := needN(e.Type, body[9:], int64(cl)+4); err != nil {
+				return err
+			}
+			e.Codec = string(body[9 : 9+cl])
+			e.Levels = int(int32(binary.LittleEndian.Uint32(body[9+cl:])))
+			if e.Levels < 0 {
+				return fmt.Errorf("%w: select declares %d quantization levels", errWireFrame, e.Levels)
+			}
+		}
 	case MsgShutdown:
 		if len(body) < 4 {
 			return fmt.Errorf("%w: shutdown body of %d bytes", errWireFrame, len(body))

@@ -36,6 +36,11 @@ type Fleet struct {
 
 	trace *netsim.Trace // shared bandwidth trace (nil = none)
 
+	// baseUp/baseDown remember the pre-scenario link speeds captured by
+	// ConfigureFederation so ApplyRoundLinks can re-derive each round's
+	// bandwidth from the round clock instead of compounding multipliers.
+	baseUp, baseDown []float64
+
 	round   int     // current round (set by BeginRound)
 	applied float64 // scenario time through which idle/recharge is integrated
 
@@ -379,6 +384,22 @@ func (f *Fleet) LinkBandwidth(id, round int, baseUp, baseDown float64) (up, down
 // Trace returns the scenario's shared bandwidth trace (nil when the
 // config has none), for attaching to netsim links.
 func (f *Fleet) Trace() *netsim.Trace { return f.trace }
+
+// ApplyRoundLinks re-derives every configured link's bandwidth for the
+// given round through LinkBandwidth, so simulated transfer durations
+// follow the same round-clock trace the server-side negotiator and any
+// out-of-band observer evaluate. No-op until ConfigureFederation has
+// captured the base link speeds.
+func (f *Fleet) ApplyRoundLinks(net *netsim.Network, round int) {
+	if f.baseUp == nil {
+		return
+	}
+	for i := 0; i < len(f.baseUp); i++ {
+		link := net.Link(i)
+		link.UpBps, link.DownBps = f.LinkBandwidth(i, round, f.baseUp[i], f.baseDown[i])
+		net.SetLink(i, link)
+	}
+}
 
 // Account charges client id's battery for one round of work: trainSec
 // seconds of training plus txBytes of uplink transmission. Call it once

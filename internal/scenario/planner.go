@@ -9,23 +9,27 @@ import (
 
 // ConfigureFederation applies the scenario's heterogeneous device-class
 // assignment to a simulated federation: each client gets its class's
-// compute profile (scaled by compute_scale) and its link bandwidth is
-// scaled by the class multiplier with the scenario's bandwidth trace
-// attached. Call it once after building the federation, before the first
-// round.
+// compute profile (scaled by compute_scale) and its link bandwidth is set
+// through LinkBandwidth for round 0 — class multiplier times the
+// round-clock trace. The base (pre-scenario) link speeds are captured so
+// Planner.Plan can re-derive each later round's bandwidth from the same
+// round clock the server-side negotiator evaluates; the engine-time
+// netsim trace is deliberately NOT attached, because the two clocks run
+// at different scales and the negotiation determinism contract is stated
+// on the round clock. Call it once after building the federation, before
+// the first round.
 func (f *Fleet) ConfigureFederation(fed *fl.Federation) {
-	for i, c := range fed.Clients {
-		if i >= f.n {
-			break
-		}
-		c.Device = f.Profile(i)
+	n := len(fed.Clients)
+	if n > f.n {
+		n = f.n
+	}
+	f.baseUp = make([]float64, n)
+	f.baseDown = make([]float64, n)
+	for i := 0; i < n; i++ {
+		fed.Clients[i].Device = f.Profile(i)
 		link := fed.Net.Link(i)
-		mult := f.sc.Classes[f.class[i]].BandwidthMult
-		link.UpBps *= mult
-		link.DownBps *= mult
-		if f.trace != nil {
-			link.Trace = f.trace
-		}
+		f.baseUp[i], f.baseDown[i] = link.UpBps, link.DownBps
+		link.UpBps, link.DownBps = f.LinkBandwidth(i, 0, link.UpBps, link.DownBps)
 		fed.Net.SetLink(i, link)
 	}
 }
@@ -50,6 +54,7 @@ type Planner struct {
 func (p *Planner) Plan(round int, e *fl.SyncEngine) []fl.Participation {
 	f := p.Fleet
 	f.BeginRound(round)
+	f.ApplyRoundLinks(e.Fed.Net, round)
 	parts := p.Inner.Plan(round, e)
 	kept := parts[:0]
 	for _, part := range parts {

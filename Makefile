@@ -33,7 +33,7 @@ test:
 # layer and the shared-registry observability layer under the race
 # detector.
 race:
-	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/... ./internal/obs/... ./internal/shard/... ./internal/compress/... ./internal/scenario/... ./internal/edge/...
+	$(GO) test -race ./internal/fl/... ./internal/nn/... ./internal/tensor/... ./internal/rpc/... ./internal/checkpoint/... ./internal/obs/... ./internal/shard/... ./internal/compress/... ./internal/scenario/... ./internal/edge/... ./internal/session/...
 
 # The full-session fault-injection suite (stragglers, partitions, drops,
 # kill-and-restart resume) plus the two-tier edge-kill/reroute suite under
@@ -50,6 +50,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/rpc/
 	$(GO) test -run xxx -fuzz FuzzWireDecode -fuzztime 10s ./internal/rpc/
 	$(GO) test -run xxx -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/checkpoint/
+	$(GO) test -run xxx -fuzz FuzzDeltaDecode -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run xxx -fuzz FuzzShardMerge -fuzztime 10s ./internal/shard/
 	$(GO) test -run xxx -fuzz FuzzScenarioDecode -fuzztime 10s ./internal/scenario/
 
@@ -73,7 +74,9 @@ cover:
 	check_pkg rpc 84; \
 	check_pkg shard 76; \
 	check_pkg edge 80; \
-	check_pkg compress 85
+	check_pkg compress 85; \
+	check_pkg session 80; \
+	check_pkg checkpoint 75
 
 # Fleet-scale aggregation smoke: a small streaming-vs-buffered pair from
 # the load harness. BENCH_5.json records the full 1k/10k-client runs and

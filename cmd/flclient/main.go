@@ -5,6 +5,10 @@
 // scores its updates, and uploads only when selected — with the
 // compression ratio the server assigned. Use -upbps with -throttle to
 // emulate a constrained embedded uplink on a real socket.
+//
+// With -async the client instead cycles pull→train→push against an
+// flserver -async session with no round barrier; -session picks a named
+// session on a multi-session server.
 package main
 
 import (
@@ -40,7 +44,10 @@ func main() {
 	backoff := flag.Duration("retry-backoff", 200*time.Millisecond, "initial redial backoff window; doubles per attempt, each wait drawn uniformly from it (full jitter)")
 	metricsAddr := flag.String("metrics-addr", "", "listen address for the debug HTTP server (/metrics, /healthz, /debug/pprof); empty disables it")
 	wire := flag.String("wire", "binary", "wire codec: binary negotiates the zero-copy codec and falls back to gob if the server declines; gob skips negotiation")
-	codec := flag.String("codec", "dgc", "default uplink codec: dgc, dadaquant, qsgd, terngrad, topk or identity; a negotiated server assignment overrides it per round")
+	codec := flag.String("codec", "", "uplink codec: dgc, dadaquant, qsgd, terngrad, topk or identity (default dgc in sync mode, topk in async mode); a negotiated server assignment overrides it per round")
+	async := flag.Bool("async", false, "buffered-asynchronous mode: cycle pull→train→push with no round barrier against an flserver -async session")
+	sessionName := flag.String("session", "", "named session to join on a multi-session server (empty joins the default session)")
+	asyncRatio := flag.Float64("async-ratio", 1, "async mode: uplink compression ratio (1 sends the exact delta)")
 	scenarioPath := flag.String("scenario", "", "declarative scenario file (must match the server's): shapes this client's reported bandwidth per round by its device class and the scenario's bandwidth trace")
 	faults := rpc.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
@@ -101,6 +108,7 @@ func main() {
 	log.Printf("flclient %d: %d local samples, dialing %s", *id, shard.Len(), *addr)
 	res, err := rpc.RunClient(rpc.ClientConfig{
 		Addr: *addr, ID: *id, Data: shard, NewModel: newModel,
+		Async: *async, AsyncRatio: *asyncRatio, Session: *sessionName,
 		LocalSteps: *steps, BatchSize: *batch, LR: *lr, Momentum: 0.9,
 		Utility: cfg.Utility, UpBps: *upbps, DownBps: *downbps,
 		Bandwidth:      bandwidth,

@@ -101,7 +101,14 @@ func main() {
 	fleetOffset := flag.Int("fleet-offset", 0, "first client id this clients-role process drives (its range is [offset, offset+clients))")
 	scenarioPath := flag.String("scenario", "", "declarative scenario file: its precomputed availability schedule masks which clients produce an update each round (energy depletion, churn, outages)")
 	edgeBootstrap := flag.String("edge-bootstrap", "", "drive the fleet against a two-tier federation: dial this root bootstrap address, follow the reroute to the assigned edge, and answer its round go-aheads (clients [fleet-offset, fleet-offset+clients))")
+	asyncAddr := flag.String("async-addr", "", "drive the fleet against a buffered-asynchronous flserver -async session at this tcp address: each client registers, then cycles pull→push with deterministic synthetic deltas (no training) until the session's version budget shuts it down")
+	sessionName := flag.String("session", "", "async mode: named session to join on a multi-session server (empty joins the default session)")
 	flag.Parse()
+
+	if *asyncAddr != "" {
+		runAsyncFleet(*asyncAddr, *wire, *sessionName, *clients, *nnz, *fleetOffset, *seed)
+		return
+	}
 
 	if *edgeBootstrap != "" {
 		// Two-tier mode: the fleet clients dial the root's bootstrap
@@ -383,4 +390,70 @@ func readVmHWM() int {
 		return kb
 	}
 	return 0
+}
+
+// runAsyncFleet drives clients [offset, offset+n) against one async
+// session: each registers with a hello naming the session, then cycles
+// MsgAsyncPull → synthetic MsgAsyncPush until the server's version
+// budget ends the session with a shutdown notice. The deltas are the
+// deterministic FleetUpdate stream sized to the pulled model, so the
+// harness measures pure async fold throughput with no local training.
+func runAsyncFleet(addr, wire, session string, n, nnz, offset int, seed uint64) {
+	start := time.Now()
+	var pushes, rejected int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		id := offset + i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := rpc.Dial("tcp", addr, wire, 10*time.Second)
+			if err != nil {
+				log.Printf("flfleet async client %d: dial: %v", id, err)
+				return
+			}
+			defer conn.Close()
+			if err := conn.Send(&rpc.Envelope{Type: rpc.MsgHello, ClientID: id, NumSamples: 1, Session: session}); err != nil {
+				log.Printf("flfleet async client %d: hello: %v", id, err)
+				return
+			}
+			e, err := conn.Recv()
+			if err != nil || e.Type != rpc.MsgWelcome {
+				if err == nil && e.Type == rpc.MsgShutdown {
+					atomic.AddInt64(&rejected, 1)
+					return
+				}
+				log.Printf("flfleet async client %d: welcome: %v (%v)", id, e, err)
+				return
+			}
+			upd := &compress.Sparse{}
+			for {
+				if err := conn.Send(&rpc.Envelope{Type: rpc.MsgAsyncPull, ClientID: id}); err != nil {
+					return
+				}
+				e, err := conn.Recv()
+				if err != nil || e.Type == rpc.MsgShutdown {
+					return // session budget reached (or torn down under us)
+				}
+				if e.Type != rpc.MsgModel {
+					log.Printf("flfleet async client %d: unexpected %v", id, e.Type)
+					return
+				}
+				version, dim := e.Round, len(e.Params)
+				k := nnz
+				if k > dim {
+					k = dim
+				}
+				rpc.FleetUpdate(upd, seed, version, id, dim, k)
+				if err := conn.Send(&rpc.Envelope{Type: rpc.MsgAsyncPush, ClientID: id, Round: version, Update: upd}); err != nil {
+					return
+				}
+				atomic.AddInt64(&pushes, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	fmt.Printf("flfleet async [%d,%d): %d pushes in %.2fs (%.0f pushes/s, %d rejected at admission)\n",
+		offset, offset+n, pushes, wall, float64(pushes)/wall, rejected)
 }

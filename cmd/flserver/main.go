@@ -22,6 +22,22 @@
 //	flserver -edge -edge-id 0 -edge-region eu -root-addr localhost:7071
 //	flserver -edge -edge-id 1 -edge-region us -root-addr localhost:7071
 //	flfleet  -edge-bootstrap localhost:7070 -clients 64 -dim 20000 -nnz 1000
+//
+// With -async the binary runs the buffered-asynchronous (FedBuff) engine
+// instead of lockstep rounds: clients cycle pull→train→push freely, the
+// server folds arrivals into a staleness-weighted buffer and applies it
+// every -buffer-k pushes. -sessions multiplexes several independent
+// async sessions over the one listener; clients pick theirs with
+// flclient -session. A two-session example:
+//
+//	flserver -async -sessions edge-eu,edge-us -versions 50 -clients 8
+//	flclient -async -session edge-eu -id 0 -clients 8
+//	flclient -async -session edge-us -id 1 -clients 8
+//
+// The doctor subcommand audits a checkpoint directory (and optionally
+// its JSONL event log) offline, exiting non-zero on any inconsistency:
+//
+//	flserver doctor -checkpoint-dir ./ckpt -event-log ./events.jsonl
 package main
 
 import (
@@ -29,6 +45,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"adafl/internal/core"
@@ -38,10 +58,15 @@ import (
 	"adafl/internal/obs"
 	"adafl/internal/rpc"
 	"adafl/internal/scenario"
+	"adafl/internal/session"
 	"adafl/internal/stats"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "doctor" {
+		runDoctor(os.Args[2:])
+		return
+	}
 	addr := flag.String("addr", ":7070", "listen address")
 	clients := flag.Int("clients", 3, "number of clients to wait for")
 	rounds := flag.Int("rounds", 30, "training rounds")
@@ -69,6 +94,16 @@ func main() {
 	negMinLv := flag.Int("neg-min-levels", negDefaults.MinLevels, "minimum DAdaQuant quantization level count")
 	negMaxLv := flag.Int("neg-max-levels", negDefaults.MaxLevels, "maximum DAdaQuant quantization level count")
 	negEvery := flag.Int("neg-double-every", negDefaults.LevelDoubleEvery, "rounds between doublings of the scheduled DAdaQuant level count")
+	deltaCkpt := flag.Bool("delta-ckpt", false, "write -checkpoint-dir as a chunked content-hash delta chain instead of one full snapshot per round (async sessions always use the delta format)")
+
+	// Buffered-asynchronous (FedBuff) mode and the multi-session control
+	// plane (internal/session).
+	asyncMode := flag.Bool("async", false, "run the buffered-asynchronous engine: no round barrier, arrivals fold into a staleness-weighted buffer applied every -buffer-k pushes")
+	sessionsFlag := flag.String("sessions", "", "comma-separated session names multiplexed over one listener, each an independent async engine (implies -async); empty runs the single \"default\" session")
+	bufferK := flag.Int("buffer-k", 0, "async: buffer size — accepted pushes per model-version apply (default max(clients/2, 1))")
+	maxStaleness := flag.Int("max-staleness", 0, "async: reject pushes whose base model is more than this many versions behind the global (0 accepts any staleness; slow clients are never evicted)")
+	versions := flag.Int("versions", 0, "async: model-version budget per session (default -rounds)")
+	eta := flag.Float64("eta", 1, "async: server learning rate applied to the weighted buffer mean")
 
 	// Two-tier federation modes (internal/edge). -root runs the top of the
 	// tree, -edge one regional aggregator; without either the binary runs
@@ -92,6 +127,27 @@ func main() {
 
 	if *rootMode && *edgeMode {
 		log.Fatal("flserver: -root and -edge are mutually exclusive")
+	}
+	if (*asyncMode || *sessionsFlag != "") && (*rootMode || *edgeMode) {
+		log.Fatal("flserver: -async is mutually exclusive with -root/-edge")
+	}
+	if *asyncMode || *sessionsFlag != "" {
+		if *versions <= 0 {
+			*versions = *rounds
+		}
+		if *bufferK <= 0 {
+			*bufferK = (*clients + 1) / 2
+		}
+		runAsync(asyncFlags{
+			addr: *addr, sessions: *sessionsFlag, wire: *wire,
+			clients: *clients, versions: *versions, k: *bufferK,
+			maxStaleness: *maxStaleness, eta: *eta, maxNorm: *maxNorm,
+			shards: *shards, seed: *seed, imgSize: *imgSize, samples: *samples,
+			ckptDir: *ckptDir, resume: *resume,
+			metricsAddr: *metricsAddr, eventLog: *eventLog,
+			fault: faults.Config(),
+		})
+		return
 	}
 	if *rootMode {
 		runRoot(rootFlags{
@@ -167,8 +223,9 @@ func main() {
 		Addr: *addr, NumClients: *clients, Rounds: *rounds,
 		Cfg: cfg, NewModel: newModel, Test: test, EvalEvery: 1,
 		StragglerTimeout: *straggler, MinClients: *minClients,
-		CheckpointDir: *ckptDir, Resume: *resume, MaxUpdateNorm: *maxNorm,
-		Shards: *shards, Wire: *wire,
+		CheckpointDir: *ckptDir, Resume: *resume, DeltaCheckpoints: *deltaCkpt,
+		MaxUpdateNorm: *maxNorm,
+		Shards:        *shards, Wire: *wire,
 		Fault: faults.Config(), Metrics: metrics, Events: events,
 	}
 	if *negotiate {
@@ -352,4 +409,175 @@ func runEdge(f edgeFlags) {
 	}
 	fmt.Printf("edge %d: %d rounds  folded %d  quarantined %d  peak clients %d\n",
 		f.id, res.Rounds, res.Folded, res.Quarantined, res.PeakClients)
+}
+
+// asyncFlags carries the parsed -async mode flags into runAsync.
+type asyncFlags struct {
+	addr, sessions, wire  string
+	clients, versions, k  int
+	maxStaleness          int
+	eta, maxNorm          float64
+	shards                int
+	seed                  uint64
+	imgSize, samples      int
+	ckptDir               string
+	resume                bool
+	metricsAddr, eventLog string
+	fault                 *rpc.FaultConfig
+}
+
+// runAsync is the -async mode: one Manager-owned listener multiplexing
+// one or more buffered-asynchronous sessions.
+func runAsync(f asyncFlags) {
+	names := []string{session.DefaultSession}
+	if f.sessions != "" {
+		names = nil
+		for _, n := range strings.Split(f.sessions, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			log.Fatal("flserver: -sessions named no sessions")
+		}
+	}
+	metrics, _, cleanup := openObs(f.metricsAddr, "", "flserver")
+	defer cleanup()
+
+	ds := dataset.SynthMNIST(f.samples, f.imgSize, f.seed)
+	_, test := ds.Split(0.8, f.seed+1)
+	size, modelSeed := f.imgSize, f.seed+3
+	newModel := func() *nn.Model {
+		return nn.NewImageMLP([]int{1, size, size}, []int{32}, 10, stats.NewRNG(modelSeed))
+	}
+
+	m, err := session.NewManager(session.Config{Addr: f.addr, Wire: f.wire, Fault: f.fault, Logf: log.Printf})
+	if err != nil {
+		log.Fatalf("flserver: %v", err)
+	}
+	defer m.Close()
+
+	engines := make([]*session.AsyncSession, len(names))
+	logs := make([]*obs.EventLog, len(names))
+	for i, name := range names {
+		cfg := session.AsyncConfig{
+			Name: name, NewModel: newModel, Test: test, EvalEvery: 1,
+			K: f.k, MaxStaleness: f.maxStaleness, Eta: f.eta,
+			Versions: f.versions, MaxClients: f.clients,
+			MaxUpdateNorm: f.maxNorm, Shards: f.shards,
+			Resume: f.resume, Metrics: metrics, Logf: log.Printf,
+		}
+		// Each session gets its own chain and event log so the doctor can
+		// audit them independently; a single session keeps the bare paths.
+		if f.ckptDir != "" {
+			cfg.CheckpointDir = f.ckptDir
+			if len(names) > 1 {
+				cfg.CheckpointDir = filepath.Join(f.ckptDir, name)
+			}
+		}
+		if f.eventLog != "" {
+			path := f.eventLog
+			if len(names) > 1 {
+				path += "." + name
+			}
+			if dir := filepath.Dir(path); dir != "." {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					log.Fatalf("flserver: event log dir: %v", err)
+				}
+			}
+			ev, err := obs.OpenEventLog(path)
+			if err != nil {
+				log.Fatalf("flserver: event log: %v", err)
+			}
+			defer func() {
+				if err := ev.Close(); err != nil {
+					log.Printf("flserver: event log close: %v", err)
+				}
+			}()
+			logs[i] = ev
+			cfg.Events = ev
+		}
+		a, err := session.NewAsync(cfg)
+		if err != nil {
+			log.Fatalf("flserver: session %q: %v", name, err)
+		}
+		if err := m.Register(name, a); err != nil {
+			log.Fatalf("flserver: session %q: %v", name, err)
+		}
+		engines[i] = a
+	}
+	go m.Serve()
+	log.Printf("flserver: async sessions %v on %s (K=%d, budget %d versions each)",
+		names, m.Addr(), f.k, f.versions)
+
+	results := make([]*session.AsyncResult, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i := range engines {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = engines[i].Run()
+		}()
+	}
+	wg.Wait()
+	failed := false
+	for i, name := range names {
+		if errs[i] != nil {
+			log.Printf("flserver: session %q: %v", name, errs[i])
+			failed = true
+			continue
+		}
+		res := results[i]
+		resumed := ""
+		if res.ResumedFrom >= 0 {
+			resumed = fmt.Sprintf("  (resumed at version %d)", res.ResumedFrom)
+		}
+		fmt.Printf("session %s: versions=%d acc=%.3f pushes=%d stale-rejected=%d quarantined=%d evictions=%d uplink=%.1fKB%s\n",
+			name, res.Versions, res.FinalAcc, res.Pushes, res.StaleRejected,
+			len(res.Quarantines), res.Evictions, float64(res.BytesReceived)/1e3, resumed)
+		fmt.Printf("session %s: staleness histogram %s\n", name, stalenessLine(res.StalenessCounts))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// stalenessLine renders a staleness histogram as "s=0:12 s=1:3 ...".
+func stalenessLine(counts map[int]int) string {
+	if len(counts) == 0 {
+		return "(no pushes)"
+	}
+	keys := make([]int, 0, len(counts))
+	for s := range counts {
+		keys = append(keys, s)
+	}
+	sort.Ints(keys)
+	parts := make([]string, 0, len(keys))
+	for _, s := range keys {
+		parts = append(parts, fmt.Sprintf("s=%d:%d", s, counts[s]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// runDoctor is the doctor subcommand: an offline checkpoint/event-log
+// audit that exits non-zero when the artifacts are inconsistent.
+func runDoctor(args []string) {
+	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	dir := fs.String("checkpoint-dir", "", "checkpoint directory to audit (delta chain or full snapshot)")
+	events := fs.String("event-log", "", "JSONL event log to cross-check against the checkpoint (optional)")
+	fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "flserver doctor: -checkpoint-dir is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	rep, err := session.Doctor(*dir, *events, os.Stdout)
+	if err != nil {
+		log.Fatalf("flserver doctor: %v", err)
+	}
+	if !rep.Healthy() {
+		os.Exit(1)
+	}
 }

@@ -132,6 +132,47 @@ func DecodeLimited(r io.Reader, v interface{}, maxPayload int64) error {
 	return nil
 }
 
+// VerifyFrame checks a full-snapshot file's framing — magic, format
+// version, declared length, CRC — without gob-decoding the payload, and
+// returns the payload size. Offline auditors (flserver doctor) use it to
+// judge integrity of snapshots whose payload types they cannot import.
+func VerifyFrame(path string, maxPayload int64) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if ver := binary.LittleEndian.Uint32(hdr[8:12]); ver != Version {
+		return 0, fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, ver)
+	}
+	n := binary.LittleEndian.Uint64(hdr[12:20])
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	if n > uint64(maxPayload) {
+		return 0, fmt.Errorf("%w: declared payload %d exceeds cap %d", ErrCorrupt, n, maxPayload)
+	}
+	crc := crc32.New(castagnoli)
+	copied, err := io.Copy(crc, io.LimitReader(f, int64(n)))
+	if err != nil {
+		return 0, fmt.Errorf("%w: read payload: %v", ErrCorrupt, err)
+	}
+	if uint64(copied) != n {
+		return 0, fmt.Errorf("%w: truncated payload: %d of %d bytes", ErrCorrupt, copied, n)
+	}
+	if want := binary.LittleEndian.Uint32(hdr[20:24]); crc.Sum32() != want {
+		return 0, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorrupt, crc.Sum32(), want)
+	}
+	return int64(n), nil
+}
+
 // Save atomically writes a snapshot of v to path: temp file in the same
 // directory, fsync, rename, directory fsync. An existing snapshot at
 // path is replaced only once the new one is fully durable.
@@ -144,6 +185,14 @@ func Save(path string, v interface{}) error {
 // (header + payload bytes) so callers can record checkpoint size metrics
 // without a second stat of the file.
 func SaveSized(path string, v interface{}) (int64, error) {
+	return atomicWrite(path, func(w io.Writer) error { return Encode(w, v) })
+}
+
+// atomicWrite runs write against a temp file in path's directory, then
+// fsyncs, renames over path and fsyncs the directory — the shared crash
+// discipline for full snapshots and delta epochs alike. It reports the
+// bytes written.
+func atomicWrite(path string, write func(io.Writer) error) (int64, error) {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -156,7 +205,7 @@ func SaveSized(path string, v interface{}) (int64, error) {
 		return 0, err
 	}
 	cw := &countingWriter{w: f}
-	if err := Encode(cw, v); err != nil {
+	if err := write(cw); err != nil {
 		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
@@ -191,14 +240,22 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Load reads the snapshot at path into v.
+// Load reads the snapshot at path into v, capping the payload length it
+// will believe at DefaultMaxPayload (a corrupt length field must never
+// drive the allocation).
 func Load(path string, v interface{}) error {
+	return LoadLimited(path, v, DefaultMaxPayload)
+}
+
+// LoadLimited is Load with an explicit payload length cap, for resume
+// paths that know how large a legitimate snapshot can be.
+func LoadLimited(path string, v interface{}, maxPayload int64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return Decode(f, v)
+	return DecodeLimited(f, v, maxPayload)
 }
 
 // Exists reports whether a snapshot file is present at path (it does not

@@ -225,16 +225,32 @@ func (f FedAsync) OnReceive(global, downloaded []float64, u Update) bool {
 	return true
 }
 
+// StalenessWeight is the single source of truth for FedBuff-style
+// staleness discounting: an update trained against a model s versions
+// old contributes with weight 1/sqrt(1+s). Both the in-process
+// AsyncEngine strategy (FedBuff) and the wire-mode session buffer
+// (internal/session) use this function, so their trajectories are
+// directly comparable; a staleness of 0 yields exactly 1.
+func StalenessWeight(staleness int) float64 {
+	if staleness <= 0 {
+		return 1
+	}
+	return 1 / math.Sqrt(1+float64(staleness))
+}
+
 // FedBuff is buffered asynchronous aggregation (Nguyen et al.): deltas
-// accumulate in a size-K buffer; when full, their average is applied with
-// server learning rate Eta.
+// accumulate in a size-K buffer; when full, their staleness-weighted
+// average is applied with server learning rate Eta. Each buffered delta
+// is weighted by StalenessWeight(staleness), so a fresh buffer (all
+// staleness 0) reduces to the plain mean.
 type FedBuff struct {
 	// K is the buffer size.
 	K int
 	// Eta is the server learning rate applied to the buffered average.
 	Eta float64
 
-	buf [][]float64
+	buf     [][]float64
+	weights []float64
 }
 
 // NewFedBuff returns a FedBuff server with buffer size k.
@@ -254,13 +270,18 @@ func (f *FedBuff) Buffered() int { return len(f.buf) }
 // OnReceive implements AsyncStrategy.
 func (f *FedBuff) OnReceive(global, _ []float64, u Update) bool {
 	f.buf = append(f.buf, u.Delta.Dense())
+	f.weights = append(f.weights, StalenessWeight(u.Staleness))
 	if len(f.buf) < f.K {
 		return false
 	}
-	inv := f.Eta / float64(len(f.buf))
-	for _, d := range f.buf {
-		tensor.Axpy(inv, d, global)
+	var wsum float64
+	for _, w := range f.weights {
+		wsum += w
+	}
+	for i, d := range f.buf {
+		tensor.Axpy(f.Eta*f.weights[i]/wsum, d, global)
 	}
 	f.buf = f.buf[:0]
+	f.weights = f.weights[:0]
 	return true
 }

@@ -521,3 +521,39 @@ func TestGradSyncValidation(t *testing.T) {
 	}()
 	NewGradSyncEngine(f, 0, 1)
 }
+
+func TestStalenessWeightSemantics(t *testing.T) {
+	if w := StalenessWeight(0); w != 1 {
+		t.Fatalf("StalenessWeight(0) = %v, want exactly 1", w)
+	}
+	if w := StalenessWeight(-3); w != 1 {
+		t.Fatalf("negative staleness must clamp to 1, got %v", w)
+	}
+	for s := 1; s < 64; s++ {
+		want := 1 / math.Sqrt(1+float64(s))
+		if got := StalenessWeight(s); got != want {
+			t.Fatalf("StalenessWeight(%d) = %v, want %v", s, got, want)
+		}
+		if StalenessWeight(s) >= StalenessWeight(s-1) {
+			t.Fatalf("StalenessWeight not strictly decreasing at %d", s)
+		}
+	}
+}
+
+func TestFedBuffStalenessWeighting(t *testing.T) {
+	f := NewFedBuff(2, 1)
+	global := []float64{0}
+	// A fresh delta of 4 and a staleness-3 delta of 0: down-weighting the
+	// stale contribution pulls the weighted mean (1*4+0.5*0)/1.5 above the
+	// plain mean of 2, because the fresh delta dominates.
+	f.OnReceive(global, nil, Update{Delta: compress.NewSparseDense([]float64{4})})
+	f.OnReceive(global, nil, Update{Delta: compress.NewSparseDense([]float64{0}), Staleness: 3})
+	w := StalenessWeight(3)
+	want := (4 + w*0) / (1 + w)
+	if math.Abs(global[0]-want) > 1e-12 {
+		t.Fatalf("weighted FedBuff applied %v, want %v", global[0], want)
+	}
+	if want <= 2 {
+		t.Fatalf("down-weighted stale zero-delta should land above the plain mean, got want=%v", want)
+	}
+}

@@ -311,6 +311,20 @@ func mergeLabels(block, extra string) string {
 	return block[:len(block)-1] + "," + extra + "}"
 }
 
+// WithLabel returns name with one extra label merged into its label
+// block: WithLabel(`adafl_bytes_total{dir="up"}`, "session", "a") →
+// `adafl_bytes_total{dir="up",session="a"}`. This is how a multi-session
+// control plane derives per-session series from the shared instrument
+// catalogue; an empty value returns the name unchanged so single-session
+// servers keep their historical series names.
+func WithLabel(name, key, value string) string {
+	if value == "" {
+		return name
+	}
+	fam, labels := family(name)
+	return fam + mergeLabels(labels, fmt.Sprintf("%s=%q", key, value))
+}
+
 // promFloat renders a float the way Prometheus expects (no exponent for
 // integral values it can avoid, +Inf/-Inf spelled out).
 func promFloat(v float64) string {

@@ -20,6 +20,17 @@ import (
 type ClientConfig struct {
 	// Addr is the server address.
 	Addr string
+	// Session routes the registration to a named session on a
+	// multi-session control plane ("" = the default session). At most 255
+	// bytes on the binary wire.
+	Session string
+	// Async switches the client to the buffered-asynchronous protocol:
+	// instead of lockstep rounds it cycles pull→train→push against an
+	// async session (flserver -async) with no selection or negotiation
+	// exchange. AsyncRatio sets the uplink compression ratio for async
+	// pushes (0 means 1: uncompressed).
+	Async      bool
+	AsyncRatio float64
 	// ID is the client's unique index (0-based).
 	ID int
 	// Data is the client's local shard.
@@ -42,10 +53,11 @@ type ClientConfig struct {
 	// and client agree without coordination). The static UpBps still
 	// drives the uplink throttle.
 	Bandwidth func(round int) (upBps, downBps float64)
-	// Codec names the default uplink codec: "" or "dgc" (momentum-
-	// corrected top-k with error feedback), "dadaquant", "qsgd",
-	// "terngrad", "topk" or "identity". A negotiated Select assignment
-	// overrides it per round.
+	// Codec names the default uplink codec: "dgc" (momentum-corrected
+	// top-k with error feedback), "dadaquant", "qsgd", "terngrad",
+	// "topk" or "identity". "" picks "dgc" in sync mode and "topk" in
+	// async mode (DGC's momentum correction presumes lockstep rounds).
+	// A negotiated Select assignment overrides it per round.
 	Codec string
 	// DGC configures the uplink codec.
 	DGCMomentum, DGCClip, DGCMsgClip float64
@@ -121,8 +133,12 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	// derive from Seed, but Split mixes the state so the redial schedule
 	// does not echo the batch order.
 	backoff := NewRetryBackoff(cfg.RetryBackoff, maxRetryBackoff, stats.NewRNG(cfg.Seed).Split())
+	run := sess.runOnce
+	if cfg.Async {
+		run = sess.runAsyncOnce
+	}
 	for retries := 0; ; {
-		done, progressed, err := sess.runOnce()
+		done, progressed, err := run()
 		if done {
 			return sess.res, nil
 		}
@@ -178,8 +194,20 @@ type clientSession struct {
 // newUplinkCodec builds the named default codec. The stochastic codecs
 // get RNG streams decorrelated from the batch iterator's by fixed salts.
 func newUplinkCodec(cfg ClientConfig) (compress.Codec, error) {
-	switch cfg.Codec {
-	case "", "dgc":
+	name := cfg.Codec
+	if name == "" {
+		// DGC's momentum correction presumes lockstep rounds: in the
+		// continuous async push loop it accumulates across pushes and
+		// inflates every delta, so async mode defaults to plain top-k
+		// (exact at AsyncRatio 1) instead.
+		if cfg.Async {
+			name = "topk"
+		} else {
+			name = "dgc"
+		}
+	}
+	switch name {
+	case "dgc":
 		d := &compress.DGC{Momentum: cfg.DGCMomentum, ClipNorm: cfg.DGCClip, MsgClipFactor: cfg.DGCMsgClip}
 		if err := d.Validate(); err != nil {
 			return nil, err
@@ -196,7 +224,7 @@ func newUplinkCodec(cfg ClientConfig) (compress.Codec, error) {
 	case "identity":
 		return compress.Identity{}, nil
 	}
-	return nil, fmt.Errorf("rpc: unknown uplink codec %q", cfg.Codec)
+	return nil, fmt.Errorf("rpc: unknown uplink codec %q", name)
 }
 
 func newClientSession(cfg ClientConfig) (*clientSession, error) {
@@ -315,7 +343,7 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 		conn.Close()
 	}()
 
-	if err := conn.Send(&Envelope{Type: MsgHello, ClientID: cfg.ID, NumSamples: cfg.Data.Len()}); err != nil {
+	if err := conn.Send(&Envelope{Type: MsgHello, ClientID: cfg.ID, NumSamples: cfg.Data.Len(), Session: cfg.Session}); err != nil {
 		return false, false, err
 	}
 
@@ -430,6 +458,103 @@ func (s *clientSession) runOnce() (done, progressed bool, err error) {
 			s.res.Uploads++
 			s.met.uploads.Inc()
 			countSent()
+		default:
+			return false, true, fmt.Errorf("rpc: client %d unexpected message %v: %w", cfg.ID, e.Type, errProtocol)
+		}
+	}
+}
+
+// runAsyncOnce dials, registers and cycles pull→train→push until
+// shutdown. The async protocol has no round barrier: the server answers
+// each MsgAsyncPull with the current global (Round carries the model
+// version) and folds each MsgAsyncPush into its FedBuff buffer, down-
+// weighting it by how many versions the base model has aged while we
+// trained. Link losses redial exactly like the synchronous path; the
+// model resyncs on the next pull, and a staged error-feedback encode is
+// committed by the next received message or rolled back on loss.
+func (s *clientSession) runAsyncOnce() (done, progressed bool, err error) {
+	cfg := s.cfg
+	conn, err := s.dial()
+	if err != nil {
+		return false, false, err
+	}
+	var counted int64
+	countSent := func() {
+		total := conn.BytesSent()
+		s.met.bytesSent.Add(total - counted)
+		counted = total
+	}
+	defer func() {
+		countSent()
+		s.res.BytesSent += conn.BytesSent()
+		conn.Close()
+	}()
+
+	if err := conn.Send(&Envelope{Type: MsgHello, ClientID: cfg.ID, NumSamples: cfg.Data.Len(), Session: cfg.Session}); err != nil {
+		return false, false, err
+	}
+	ratio := compress.ClampRatio(s.cfg.AsyncRatio, 1, 1e9)
+	var env Envelope
+	for {
+		e := &env
+		if err := conn.RecvInto(e); err != nil {
+			s.rollbackPending()
+			return false, progressed, fmt.Errorf("rpc: client %d recv: %w", cfg.ID, err)
+		}
+		s.commitPending()
+		progressed = true
+		switch e.Type {
+		case MsgShutdown:
+			cfg.Logf("client %d: shutdown (%s)", cfg.ID, e.Info)
+			return true, true, nil
+		case MsgWelcome:
+			if e.Round > 0 {
+				cfg.Logf("client %d: joining async session at model version %d", cfg.ID, e.Round)
+			}
+			if err := conn.Send(&Envelope{Type: MsgAsyncPull, ClientID: cfg.ID}); err != nil {
+				return false, true, err
+			}
+		case MsgPing:
+			if err := conn.Send(&Envelope{Type: MsgPing, ClientID: cfg.ID, Round: e.Round}); err != nil {
+				return false, true, err
+			}
+		case MsgModel:
+			if len(e.Params) != s.model.NumParams() {
+				return false, true, fmt.Errorf("rpc: client %d: broadcast has %d params, model has %d: %w",
+					cfg.ID, len(e.Params), s.model.NumParams(), errProtocol)
+			}
+			version := e.Round
+			s.model.SetParamVector(e.Params)
+			trainStart := time.Now()
+			for step := 0; step < cfg.LocalSteps; step++ {
+				x, labels := s.iter.Next()
+				s.model.ZeroGrads()
+				s.model.TrainBatch(x, labels)
+				s.opt.Step(s.model)
+			}
+			s.met.trainSec.Observe(time.Since(trainStart).Seconds())
+			local := s.model.ParamVector()
+			delta := make([]float64, len(local))
+			tensor.SubVec(delta, local, e.Params)
+			msg := s.codec.Encode(delta, ratio)
+			// Round pins the version this delta was trained from: the
+			// server derives staleness from it when the push is folded.
+			if err := conn.Send(&Envelope{Type: MsgAsyncPush, ClientID: cfg.ID, Round: version, Update: msg}); err != nil {
+				if rb, ok := s.codec.(rollbackCodec); ok {
+					rb.Rollback()
+				}
+				return false, true, err
+			}
+			if rb, ok := s.codec.(rollbackCodec); ok {
+				s.pending = rb
+			}
+			s.res.Rounds++
+			s.res.Uploads++
+			s.met.uploads.Inc()
+			countSent()
+			if err := conn.Send(&Envelope{Type: MsgAsyncPull, ClientID: cfg.ID}); err != nil {
+				return false, true, err
+			}
 		default:
 			return false, true, fmt.Errorf("rpc: client %d unexpected message %v: %w", cfg.ID, e.Type, errProtocol)
 		}

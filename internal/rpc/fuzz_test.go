@@ -47,6 +47,9 @@ func fixtureEnvelopes() []*Envelope {
 		{Type: MsgEdgeHello, ClientID: 1, NumSamples: 230, Info: "127.0.0.1:9021", Region: "eu-south"},
 		{Type: MsgEdgePartial, ClientID: 1, Round: 9, NumSamples: 230, WeightSum: 230, Params: []float64{0.25, -1.5, 1e-9}},
 		{Type: MsgReroute, ClientID: 17, Round: 3, Info: "127.0.0.1:9022"},
+		{Type: MsgHello, ClientID: 8, NumSamples: 96, Session: "factory-floor"},
+		{Type: MsgAsyncPull, ClientID: 6},
+		{Type: MsgAsyncPush, ClientID: 6, Round: 12, Update: &compress.Sparse{Dim: 8, Indices: []int32{1, 6}, Values: []float64{-0.75, 2}}},
 	}
 }
 

@@ -79,6 +79,15 @@ const (
 	// the topology epoch the assignment belongs to. Orphans of a dead edge
 	// redial the bootstrap and learn their new edge from it.
 	MsgReroute
+	// MsgAsyncPull is an async-mode client's model request: no round
+	// barrier, the client asks for the current global whenever it is ready
+	// to train. The server answers with MsgModel whose Round carries the
+	// global model version.
+	MsgAsyncPull
+	// MsgAsyncPush carries an async-mode client's compressed delta.
+	// Round is the model version the client trained from (the server
+	// derives staleness as currentVersion − Round); Update is the delta.
+	MsgAsyncPush
 )
 
 // Envelope is the single wire message type. Only the fields relevant to
@@ -90,6 +99,11 @@ type Envelope struct {
 
 	// MsgHello
 	NumSamples int
+
+	// MsgHello (multi-session extension). Session names the control-plane
+	// session the client wants to join; "" targets the default session, and
+	// encodes as the legacy hello body so pre-session peers interoperate.
+	Session string
 
 	// MsgModel
 	Params      []float64

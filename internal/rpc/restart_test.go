@@ -236,3 +236,116 @@ func TestResumeCorruptCheckpointIsFatal(t *testing.T) {
 		t.Fatalf("error %v does not wrap checkpoint.ErrCorrupt", err)
 	}
 }
+
+// TestSyncDeltaCheckpointResume: the synchronous engine's delta-format
+// checkpoints survive a kill/restart cycle — the resumed server restores
+// round history and model from the chunked chain — and the format
+// refusal matrix keeps delta and full snapshots from silently mixing.
+func TestSyncDeltaCheckpointResume(t *testing.T) {
+	const (
+		rounds    = 6
+		killAfter = 3
+	)
+	env := newChaosEnv(2, 240, 12, 16, 74)
+	dir := t.TempDir()
+
+	scfg1 := env.serverConfig(rounds)
+	scfg1.CheckpointDir = dir
+	scfg1.DeltaCheckpoints = true
+	var srv1 *Server
+	scfg1.OnRound = func(rec RoundRecord) {
+		if rec.Round == killAfter-1 {
+			srv1.Kill()
+		}
+	}
+	srv1, err := NewServer(scfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv1.Addr()
+	cfgs := make([]ClientConfig, 2)
+	for i := range cfgs {
+		cfgs[i] = env.clientConfig(i, addr)
+		cfgs[i].MaxRetries = 100
+		cfgs[i].RetryBackoff = 20 * time.Millisecond
+	}
+	clientsDone := make(chan struct{})
+	go func() { runClients(cfgs); close(clientsDone) }()
+	res1, err := srv1.Run()
+	if !errors.Is(err, ErrServerKilled) {
+		t.Fatalf("killed server returned %v, want ErrServerKilled", err)
+	}
+	if len(res1.Rounds) != killAfter {
+		t.Fatalf("first server completed %d rounds, want %d", len(res1.Rounds), killAfter)
+	}
+	epochs, err := checkpoint.DeltaEpochs(dir)
+	if err != nil || len(epochs) == 0 {
+		t.Fatalf("no delta chain on disk after the crash: epochs %v, err %v", epochs, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "session.ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("delta mode wrote a full snapshot too (stat err %v)", err)
+	}
+
+	// Refusal matrix: a delta chain must not resume with delta mode off.
+	scfgBad := env.serverConfig(rounds)
+	scfgBad.CheckpointDir = dir
+	scfgBad.Resume = true
+	srvBad, err := NewServer(scfgBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srvBad.Run(); err == nil {
+		t.Fatal("full-snapshot mode resumed from a delta chain")
+	}
+
+	// And a full snapshot must not resume with delta mode on.
+	fullDir := t.TempDir()
+	if err := checkpoint.Save(filepath.Join(fullDir, "session.ckpt"), &struct{ X int }{1}); err != nil {
+		t.Fatal(err)
+	}
+	scfgBad2 := env.serverConfig(rounds)
+	scfgBad2.CheckpointDir = fullDir
+	scfgBad2.DeltaCheckpoints = true
+	scfgBad2.Resume = true
+	srvBad2, err := NewServer(scfgBad2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srvBad2.Run(); err == nil {
+		t.Fatal("delta mode resumed from a full snapshot")
+	}
+
+	// The real restart: same address, delta mode, resume.
+	scfg2 := env.serverConfig(rounds)
+	scfg2.Addr = addr
+	scfg2.CheckpointDir = dir
+	scfg2.DeltaCheckpoints = true
+	scfg2.Resume = true
+	var srv2 *Server
+	for attempt := 0; ; attempt++ {
+		srv2, err = NewServer(scfg2)
+		if err == nil {
+			break
+		}
+		if attempt >= 100 {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	res2, err := srv2.Run()
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	<-clientsDone
+	if res2.ResumedFrom != killAfter {
+		t.Fatalf("ResumedFrom = %d, want %d", res2.ResumedFrom, killAfter)
+	}
+	if len(res2.Rounds) != rounds {
+		t.Fatalf("resumed session ended with %d/%d rounds", len(res2.Rounds), rounds)
+	}
+	for i, rec := range res2.Rounds {
+		if rec.Round != i {
+			t.Fatalf("round history gap at index %d: record says round %d", i, rec.Round)
+		}
+	}
+}

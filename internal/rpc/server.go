@@ -1,6 +1,9 @@
 package rpc
 
 import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
 	"fmt"
 	"io"
 	"log"
@@ -35,8 +38,19 @@ const helloTimeout = 5 * time.Second
 
 // ServerConfig configures a federation server.
 type ServerConfig struct {
-	// Addr is the listen address, e.g. ":7070".
+	// Addr is the listen address, e.g. ":7070". Ignored by
+	// NewManagedServer, which receives connections from a session.Manager
+	// instead of its own listener.
 	Addr string
+	// Session names this session in a multi-session control plane. When
+	// non-empty it is merged into every metric series as a
+	// session="..." label; "" keeps the historical unlabeled names.
+	Session string
+	// MaxClients is the admission cap: a registration arriving while
+	// roster+pending is at the cap is turned away with a shutdown notice
+	// instead of queued. 0 disables the cap (NumClients stays the quorum,
+	// not a ceiling, so evicted clients can always re-join).
+	MaxClients int
 	// NumClients is how many registrations to wait for before round 1.
 	NumClients int
 	// Rounds is the training budget.
@@ -75,6 +89,13 @@ type ServerConfig struct {
 	// CheckpointDir/session.ckpt. A failed write is logged and training
 	// continues; the previous snapshot stays intact.
 	CheckpointDir string
+	// DeltaCheckpoints switches CheckpointDir to the chunked
+	// content-hash delta format (checkpoint.DeltaWriter): each round
+	// writes an epoch whose unchanged chunks reference the previous
+	// epoch, with periodic full rebases and GC of unreachable epochs.
+	// A directory holding the other format is refused on resume rather
+	// than silently restarted.
+	DeltaCheckpoints bool
 	// Resume restores the snapshot in CheckpointDir on startup and
 	// continues from the round after the last completed one. With no
 	// snapshot present the session starts fresh (so a supervisor can
@@ -213,8 +234,11 @@ type ServerResult struct {
 // their samples removed from the FedAvg normalisation, and evicted or
 // late clients may re-register (a re-Hello) to join at the next round.
 type Server struct {
-	cfg      ServerConfig
+	cfg ServerConfig
+	// listener is nil on a managed server (session.Manager owns the
+	// socket and hands connections in through Deliver).
 	listener net.Listener
+	managed  bool
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -238,6 +262,7 @@ type Server struct {
 	quarantinesDropped int                // records discarded by the log cap
 	tree               *shard.Tree        // streaming aggregation tree (nil when Shards == 0)
 	neg                *core.Negotiator   // codec negotiator (nil when Negotiation disabled)
+	deltaW             *checkpoint.DeltaWriter
 }
 
 // DefaultQuarantineLogCap bounds the quarantine log when
@@ -277,14 +302,17 @@ type clientConn struct {
 	env Envelope
 }
 
-// NewServer binds the listen socket (so callers know the port before
-// clients dial) and returns the server.
-func NewServer(cfg ServerConfig) (*Server, error) {
+// prepareConfig validates and defaults a ServerConfig for both the
+// listening and the managed construction paths.
+func prepareConfig(cfg ServerConfig) (ServerConfig, error) {
 	if cfg.NumClients <= 0 || cfg.Rounds <= 0 {
-		return nil, fmt.Errorf("rpc: need positive NumClients and Rounds")
+		return cfg, fmt.Errorf("rpc: need positive NumClients and Rounds")
 	}
 	if cfg.MinClients > cfg.NumClients {
-		return nil, fmt.Errorf("rpc: MinClients %d exceeds NumClients %d", cfg.MinClients, cfg.NumClients)
+		return cfg, fmt.Errorf("rpc: MinClients %d exceeds NumClients %d", cfg.MinClients, cfg.NumClients)
+	}
+	if cfg.MaxClients > 0 && cfg.MaxClients < cfg.NumClients {
+		return cfg, fmt.Errorf("rpc: MaxClients %d below NumClients %d: the quorum could never form", cfg.MaxClients, cfg.NumClients)
 	}
 	if cfg.MinClients <= 0 {
 		cfg.MinClients = 1
@@ -302,43 +330,87 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.EvalEvery = 1
 	}
 	if cfg.Wire != "" && cfg.Wire != WireBinary && cfg.Wire != WireGob {
-		return nil, fmt.Errorf("rpc: unknown wire codec %q (want %q or %q)", cfg.Wire, WireBinary, WireGob)
+		return cfg, fmt.Errorf("rpc: unknown wire codec %q (want %q or %q)", cfg.Wire, WireBinary, WireGob)
 	}
 	if cfg.CheckpointDir != "" {
 		// The atomic rename in checkpoint.Save needs the directory to
 		// exist; creating it here surfaces a bad path at startup instead
 		// of as a failed-checkpoint log line every round.
 		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
-			return nil, fmt.Errorf("rpc: checkpoint dir: %w", err)
+			return cfg, fmt.Errorf("rpc: checkpoint dir: %w", err)
 		}
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, err
-	}
+	return cfg, nil
+}
+
+func newServer(cfg ServerConfig, ln net.Listener) (*Server, error) {
 	var neg *core.Negotiator
 	if cfg.Negotiation.Enabled {
+		var err error
 		neg, err = core.NewNegotiator(cfg.Negotiation, cfg.Cfg.Compression)
 		if err != nil {
-			ln.Close()
 			return nil, err
 		}
 	}
 	s := &Server{
 		cfg:      cfg,
 		listener: ln,
+		managed:  ln == nil,
 		roster:   map[int]*clientConn{},
 		pending:  map[int]*clientConn{},
 		seen:     map[int]bool{},
-		met:      newServerMetrics(cfg.Metrics),
+		met:      newServerMetrics(cfg.Metrics, cfg.Session),
 		neg:      neg,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
 }
 
-// Addr returns the bound listen address.
-func (s *Server) Addr() string { return s.listener.Addr().String() }
+// NewServer binds the listen socket (so callers know the port before
+// clients dial) and returns the server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg, err := prepareConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newServer(cfg, ln)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewManagedServer returns a server with no listener of its own: a
+// session.Manager multiplexing one socket across sessions negotiates and
+// routes each accepted connection, then hands it in through Deliver.
+// cfg.Addr is ignored.
+func NewManagedServer(cfg ServerConfig) (*Server, error) {
+	cfg, err := prepareConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newServer(cfg, nil)
+}
+
+// Addr returns the bound listen address ("" on a managed server).
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// closeListener is a nil-safe close of the (possibly absent) listener.
+func (s *Server) closeListener() {
+	if s.listener != nil {
+		s.listener.Close()
+	}
+}
 
 // Run accepts NumClients registrations, executes the configured rounds
 // (tolerating stragglers, dead links and re-joins), shuts the surviving
@@ -368,7 +440,7 @@ func (s *Server) Run() (*ServerResult, error) {
 	if s.cfg.Resume && s.cfg.CheckpointDir != "" {
 		snap, err := s.loadCheckpoint(len(global))
 		if err != nil {
-			s.listener.Close()
+			s.closeListener()
 			return nil, err
 		}
 		if snap != nil {
@@ -400,7 +472,7 @@ func (s *Server) Run() (*ServerResult, error) {
 				// value is refused — silently re-routing clients would break
 				// the fixed-shard-count determinism contract.
 				if err := s.tree.Restore(snap.ShardState); err != nil {
-					s.listener.Close()
+					s.closeListener()
 					return nil, fmt.Errorf("rpc: resume from %s: %w", s.checkpointPath(), err)
 				}
 			}
@@ -411,7 +483,7 @@ func (s *Server) Run() (*ServerResult, error) {
 					// unrelated schedules together and the replayed run
 					// would diverge from an uninterrupted one.
 					if err := s.cfg.Scenario.Restore(snap.Scenario); err != nil {
-						s.listener.Close()
+						s.closeListener()
 						return nil, fmt.Errorf("rpc: resume from %s: %w", s.checkpointPath(), err)
 					}
 				} else {
@@ -427,14 +499,14 @@ func (s *Server) Run() (*ServerResult, error) {
 			switch {
 			case s.neg != nil && snap.Negotiation != nil:
 				if err := s.neg.Restore(snap.Negotiation); err != nil {
-					s.listener.Close()
+					s.closeListener()
 					return nil, fmt.Errorf("rpc: resume from %s: %w", s.checkpointPath(), err)
 				}
 			case s.neg != nil:
-				s.listener.Close()
+				s.closeListener()
 				return nil, fmt.Errorf("rpc: resume from %s: snapshot has no negotiation state but negotiation is enabled; rerun without -negotiate or start fresh", s.checkpointPath())
 			case snap.Negotiation != nil:
-				s.listener.Close()
+				s.closeListener()
 				return nil, fmt.Errorf("rpc: resume from %s: snapshot is from a negotiated session; rerun with -negotiate and the same negotiation flags", s.checkpointPath())
 			}
 			s.cfg.Logf("server: resumed session at round %d (%d rounds restored, final acc so far %.3f)",
@@ -453,7 +525,9 @@ func (s *Server) Run() (*ServerResult, error) {
 	s.nextRound = startRound
 	s.mu.Unlock()
 
-	go s.acceptLoop()
+	if !s.managed {
+		go s.acceptLoop()
+	}
 	if err := s.waitForQuorum(); err != nil {
 		s.shutdown("listener failed")
 		return nil, err
@@ -518,8 +592,12 @@ func (s *Server) Kill() {
 	for _, c := range s.pending {
 		conns = append(conns, c)
 	}
+	// Wake a pre-quorum waitForQuorum: with the listener gone (or absent,
+	// on a managed server) nothing else would, and Run must return
+	// ErrServerKilled rather than wait for clients that can never arrive.
+	s.cond.Broadcast()
 	s.mu.Unlock()
-	s.listener.Close()
+	s.closeListener()
 	for _, c := range conns {
 		c.conn.Close()
 	}
@@ -568,6 +646,17 @@ func (s *Server) handshake(raw net.Conn) {
 		conn.Close()
 		return
 	}
+	s.Deliver(conn, hello)
+}
+
+// Deliver admits an already-negotiated connection whose hello has been
+// read — the entry point a session.Manager uses after routing the
+// handshake itself (the server's own acceptLoop funnels through it too).
+// The hello envelope is only read during the call. A rejected connection
+// is closed after a shutdown notice and the error says why; nil means the
+// client is registered and welcomed.
+func (s *Server) Deliver(conn *Conn, hello *Envelope) error {
+	id := hello.ClientID
 	s.met.countWire(conn)
 	conn.SetReadDeadline(time.Time{})
 
@@ -576,26 +665,33 @@ func (s *Server) handshake(raw net.Conn) {
 		s.mu.Unlock()
 		conn.Send(&Envelope{Type: MsgShutdown, Info: "session over"})
 		conn.Close()
-		return
+		return fmt.Errorf("rpc: session over")
 	}
-	_, live := s.roster[hello.ClientID]
-	_, queued := s.pending[hello.ClientID]
+	_, live := s.roster[id]
+	_, queued := s.pending[id]
 	if live || queued {
 		s.mu.Unlock()
-		s.cfg.Logf("server: rejecting duplicate client id %d", hello.ClientID)
-		conn.Send(&Envelope{Type: MsgShutdown, Info: fmt.Sprintf("duplicate client id %d", hello.ClientID)})
+		s.cfg.Logf("server: rejecting duplicate client id %d", id)
+		conn.Send(&Envelope{Type: MsgShutdown, Info: fmt.Sprintf("duplicate client id %d", id)})
 		conn.Close()
-		return
+		return fmt.Errorf("rpc: duplicate client id %d", id)
 	}
-	s.pending[hello.ClientID] = &clientConn{id: hello.ClientID, conn: conn, samples: hello.NumSamples}
+	if limit := s.cfg.MaxClients; limit > 0 && len(s.roster)+len(s.pending) >= limit {
+		s.mu.Unlock()
+		s.cfg.Logf("server: rejecting client %d: session at its admission cap (%d clients)", id, limit)
+		conn.Send(&Envelope{Type: MsgShutdown, Info: fmt.Sprintf("session full (%d clients)", limit)})
+		conn.Close()
+		return fmt.Errorf("rpc: session full (%d clients)", limit)
+	}
+	s.pending[id] = &clientConn{id: id, conn: conn, samples: hello.NumSamples}
 	s.met.connections.Add(1)
 	s.met.registrations.Inc()
-	if s.seen[hello.ClientID] {
+	if s.seen[id] {
 		s.met.reconnects.Inc()
 	}
-	s.seen[hello.ClientID] = true
+	s.seen[id] = true
 	next := s.nextRound
-	s.cfg.Logf("server: client %d registered (%d samples), joins at round %d", hello.ClientID, hello.NumSamples, next+1)
+	s.cfg.Logf("server: client %d registered (%d samples), joins at round %d", id, hello.NumSamples, next+1)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
@@ -605,24 +701,30 @@ func (s *Server) handshake(raw net.Conn) {
 	conn.SetWriteDeadline(time.Now().Add(helloTimeout))
 	if err := conn.Send(&Envelope{Type: MsgWelcome, Round: next}); err != nil {
 		s.mu.Lock()
-		if c, ok := s.pending[hello.ClientID]; ok && c.conn == conn {
-			delete(s.pending, hello.ClientID)
+		if c, ok := s.pending[id]; ok && c.conn == conn {
+			delete(s.pending, id)
 			s.met.connections.Add(-1)
 		}
 		s.mu.Unlock()
 		// If admitPending already moved it to the roster, the dead link
 		// surfaces at the next phase and the normal eviction path runs.
 		conn.Close()
-		return
+		return fmt.Errorf("rpc: welcome client %d: %w", id, err)
 	}
 	conn.SetWriteDeadline(time.Time{})
+	return nil
 }
 
 func (s *Server) waitForQuorum() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.roster)+len(s.pending) < s.cfg.NumClients && s.acceptErr == nil {
+	for len(s.roster)+len(s.pending) < s.cfg.NumClients && s.acceptErr == nil && !s.dead {
 		s.cond.Wait()
+	}
+	if s.dead {
+		// Kill landed before the quorum formed (a managed server has no
+		// listener whose Accept failure would wake this wait).
+		return ErrServerKilled
 	}
 	return s.acceptErr
 }
@@ -1042,7 +1144,7 @@ func (s *Server) shutdown(info string) {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
-	s.listener.Close()
+	s.closeListener()
 	for _, c := range conns {
 		c.conn.Send(&Envelope{Type: MsgShutdown, Info: info})
 		c.conn.Close()
@@ -1113,7 +1215,7 @@ func (s *Server) saveCheckpoint(round int, global, globalDelta []float64,
 	if s.neg != nil {
 		negState = s.neg.Snapshot()
 	}
-	return checkpoint.SaveSized(s.checkpointPath(), &sessionSnapshot{
+	snap := &sessionSnapshot{
 		CompletedRound:     round,
 		ParamDim:           len(global),
 		NumClients:         s.cfg.NumClients,
@@ -1131,7 +1233,93 @@ func (s *Server) saveCheckpoint(round int, global, globalDelta []float64,
 		ShardState:         treeState,
 		Scenario:           scenState,
 		Negotiation:        negState,
-	})
+	}
+	if s.cfg.DeltaCheckpoints {
+		return s.saveDeltaCheckpoint(snap)
+	}
+	return checkpoint.SaveSized(s.checkpointPath(), snap)
+}
+
+// Section names of a delta-format session checkpoint. The big vectors get
+// their own fixed-width sections so positional chunking can dedup the
+// parameters that did not move this round; everything else rides in one
+// gob "meta" section. "round" is a bare little-endian u64 duplicate of
+// CompletedRound so an offline auditor (flserver doctor) can follow round
+// continuity without decoding this package's gob types.
+const (
+	deltaSecMeta   = "meta"
+	deltaSecGlobal = "global"
+	deltaSecGDelta = "gdelta"
+	deltaSecRound  = "round"
+)
+
+// encodeDeltaSnapshot splits a snapshot into delta-checkpoint sections.
+func encodeDeltaSnapshot(snap *sessionSnapshot) ([]checkpoint.Section, error) {
+	global, gdelta := snap.Global, snap.GlobalDelta
+	snap.Global, snap.GlobalDelta = nil, nil
+	var meta bytes.Buffer
+	err := gob.NewEncoder(&meta).Encode(snap)
+	snap.Global, snap.GlobalDelta = global, gdelta
+	if err != nil {
+		return nil, err
+	}
+	var round [8]byte
+	binary.LittleEndian.PutUint64(round[:], uint64(snap.CompletedRound))
+	return []checkpoint.Section{
+		{Name: deltaSecMeta, Data: meta.Bytes()},
+		{Name: deltaSecGlobal, Data: checkpoint.AppendF64s(nil, global)},
+		{Name: deltaSecGDelta, Data: checkpoint.AppendF64s(nil, gdelta)},
+		{Name: deltaSecRound, Data: round[:]},
+	}, nil
+}
+
+// decodeDeltaSnapshot is the inverse of encodeDeltaSnapshot.
+func decodeDeltaSnapshot(sections []checkpoint.Section) (*sessionSnapshot, error) {
+	byName := make(map[string][]byte, len(sections))
+	for _, sec := range sections {
+		byName[sec.Name] = sec.Data
+	}
+	for _, name := range []string{deltaSecMeta, deltaSecGlobal, deltaSecGDelta, deltaSecRound} {
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("rpc: delta checkpoint is missing section %q", name)
+		}
+	}
+	var snap sessionSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(byName[deltaSecMeta])).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("rpc: delta checkpoint meta: %w", err)
+	}
+	var err error
+	if snap.Global, err = checkpoint.F64sFromBytes(byName[deltaSecGlobal]); err != nil {
+		return nil, fmt.Errorf("rpc: delta checkpoint global: %w", err)
+	}
+	if snap.GlobalDelta, err = checkpoint.F64sFromBytes(byName[deltaSecGDelta]); err != nil {
+		return nil, fmt.Errorf("rpc: delta checkpoint gdelta: %w", err)
+	}
+	if rb := byName[deltaSecRound]; len(rb) != 8 {
+		return nil, fmt.Errorf("rpc: delta checkpoint round section is %d bytes, want 8", len(rb))
+	} else if got := binary.LittleEndian.Uint64(rb); got != uint64(snap.CompletedRound) {
+		return nil, fmt.Errorf("rpc: delta checkpoint round section %d disagrees with meta round %d", got, snap.CompletedRound)
+	}
+	return &snap, nil
+}
+
+// saveDeltaCheckpoint writes one delta epoch. The writer is created
+// lazily on the first save so a resumed session's writer opens after the
+// chain has been read (NewDeltaWriter continues past the latest epoch).
+func (s *Server) saveDeltaCheckpoint(snap *sessionSnapshot) (int64, error) {
+	if s.deltaW == nil {
+		w, err := checkpoint.NewDeltaWriter(s.cfg.CheckpointDir, checkpoint.DeltaOptions{})
+		if err != nil {
+			return 0, err
+		}
+		s.deltaW = w
+	}
+	sections, err := encodeDeltaSnapshot(snap)
+	if err != nil {
+		return 0, err
+	}
+	_, size, err := s.deltaW.Write(sections)
+	return size, err
 }
 
 // loadCheckpoint restores the snapshot for a resumed session. A missing
@@ -1141,13 +1329,40 @@ func (s *Server) saveCheckpoint(round int, global, globalDelta []float64,
 // scratch would masquerade as a resumed session.
 func (s *Server) loadCheckpoint(dim int) (*sessionSnapshot, error) {
 	path := s.checkpointPath()
-	if !checkpoint.Exists(path) {
+	hasFull := checkpoint.Exists(path)
+	deltaEpochs, err := checkpoint.DeltaEpochs(s.cfg.CheckpointDir)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: resume from %s: %w", s.cfg.CheckpointDir, err)
+	}
+	hasDelta := len(deltaEpochs) > 0
+
+	var snap *sessionSnapshot
+	switch {
+	case s.cfg.DeltaCheckpoints && hasFull && !hasDelta:
+		// Silently restarting would discard the old session's progress.
+		return nil, fmt.Errorf("rpc: resume from %s: directory holds a full-snapshot checkpoint but delta checkpoints are enabled; rerun without -delta-ckpt or start a fresh directory", s.cfg.CheckpointDir)
+	case !s.cfg.DeltaCheckpoints && hasDelta:
+		return nil, fmt.Errorf("rpc: resume from %s: directory holds a delta checkpoint chain; rerun with -delta-ckpt or start a fresh directory", s.cfg.CheckpointDir)
+	case s.cfg.DeltaCheckpoints && !hasDelta:
+		s.cfg.Logf("server: no delta checkpoint in %s, starting fresh", s.cfg.CheckpointDir)
+		return nil, nil
+	case s.cfg.DeltaCheckpoints:
+		path = s.cfg.CheckpointDir
+		epoch, sections, err := checkpoint.NewDeltaReader(s.cfg.CheckpointDir, 0).ReadLatest()
+		if err != nil {
+			return nil, fmt.Errorf("rpc: resume from %s: %w", path, err)
+		}
+		if snap, err = decodeDeltaSnapshot(sections); err != nil {
+			return nil, fmt.Errorf("rpc: resume from %s epoch %d: %w", path, epoch, err)
+		}
+	case !hasFull:
 		s.cfg.Logf("server: no checkpoint at %s, starting fresh", path)
 		return nil, nil
-	}
-	var snap sessionSnapshot
-	if err := checkpoint.Load(path, &snap); err != nil {
-		return nil, fmt.Errorf("rpc: resume from %s: %w", path, err)
+	default:
+		snap = &sessionSnapshot{}
+		if err := checkpoint.Load(path, snap); err != nil {
+			return nil, fmt.Errorf("rpc: resume from %s: %w", path, err)
+		}
 	}
 	if snap.ParamDim != dim {
 		return nil, fmt.Errorf("rpc: resume from %s: snapshot is for a %d-parameter model, this server has %d (model or seed changed?)",
@@ -1165,7 +1380,7 @@ func (s *Server) loadCheckpoint(dim int) (*sessionSnapshot, error) {
 		s.cfg.Logf("server: resume: snapshot taken with %d clients / %d rounds, now %d / %d",
 			snap.NumClients, snap.Rounds, s.cfg.NumClients, s.cfg.Rounds)
 	}
-	return &snap, nil
+	return snap, nil
 }
 
 // serverSelector applies Algorithm 1 + the fairness reservation over

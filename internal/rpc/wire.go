@@ -18,6 +18,7 @@ import (
 //	payload  := u8 type | u8 flags(0) | i32 LE clientID | i32 LE round | body
 //	body     :=                                 (per type)
 //	  Hello     i32 LE numSamples
+//	            | [u8 sessionLen | session name]                 (multi-session)
 //	  Welcome   (empty)
 //	  Score     f64 LE score
 //	  Select    f64 LE ratio
@@ -29,6 +30,10 @@ import (
 //	  EdgeHello i32 LE numSamples | u32 LE len | info | u32 LE len | region
 //	  EdgePartial i32 LE numSamples | f64 LE weightSum | u32 LE n | n × f64
 //	  Reroute   u32 LE len | UTF-8 info (the assigned edge's address)
+//	  AsyncPull (empty — round field is ignored; the reply's Round is the
+//	            global model version)
+//	  AsyncPush sparse section (round field = the model version the delta
+//	            was trained from)
 //
 // The length prefix excludes its own 4 bytes. Explicit framing is what
 // makes receive-side accounting exact: a Conn reads exactly 4+len bytes
@@ -84,6 +89,15 @@ func (e *Envelope) wirePayloadSize() (int, error) {
 	switch e.Type {
 	case MsgHello:
 		n += 4
+		if e.Session != "" {
+			// Multi-session extension: u8 sessionLen | name. An empty
+			// session keeps the legacy 4-byte body so pre-session decoders
+			// still accept the frame.
+			if len(e.Session) > 255 {
+				return 0, fmt.Errorf("rpc: send hello with %d-byte session name", len(e.Session))
+			}
+			n += 1 + len(e.Session)
+		}
 	case MsgWelcome:
 	case MsgScore:
 		n += 8
@@ -115,6 +129,12 @@ func (e *Envelope) wirePayloadSize() (int, error) {
 		n += 4 + 8 + 4 + 8*len(e.Params)
 	case MsgReroute:
 		n += 4 + len(e.Info)
+	case MsgAsyncPull:
+	case MsgAsyncPush:
+		if e.Update == nil {
+			return 0, fmt.Errorf("rpc: send async push without payload")
+		}
+		n += e.Update.BinaryWireSize()
 	default:
 		return 0, fmt.Errorf("rpc: send unknown message type %v", e.Type)
 	}
@@ -138,6 +158,10 @@ func (c *Conn) sendBinary(e *Envelope) error {
 	switch e.Type {
 	case MsgHello:
 		h = binary.LittleEndian.AppendUint32(h, uint32(int32(e.NumSamples)))
+		if e.Session != "" {
+			h = append(h, byte(len(e.Session)))
+			h = append(h, e.Session...)
+		}
 	case MsgScore:
 		h = binary.LittleEndian.AppendUint64(h, math.Float64bits(e.Score))
 	case MsgSelect:
@@ -201,6 +225,10 @@ func (c *Conn) sendBinary(e *Envelope) error {
 		}
 	case MsgReroute:
 		if _, err := c.bw.WriteString(e.Info); err != nil {
+			return err
+		}
+	case MsgAsyncPush:
+		if err := e.Update.EncodeBinaryTo(c.bw, c.chunk); err != nil {
 			return err
 		}
 	}
@@ -271,10 +299,18 @@ func (c *Conn) decodeFrame(e *Envelope, p []byte, fresh bool) error {
 	}
 	switch e.Type {
 	case MsgHello:
-		if err := need(4); err != nil {
-			return err
+		if len(body) < 4 {
+			return fmt.Errorf("%w: hello body of %d bytes", errWireFrame, len(body))
 		}
 		e.NumSamples = int(int32(binary.LittleEndian.Uint32(body)))
+		if len(body) > 4 {
+			// Multi-session extension: u8 sessionLen | name.
+			sl := int(body[4])
+			if err := needN(e.Type, body[5:], int64(sl)); err != nil {
+				return err
+			}
+			e.Session = string(body[5 : 5+sl])
+		}
 	case MsgWelcome:
 		return need(0)
 	case MsgScore:
@@ -389,6 +425,22 @@ func (c *Conn) decodeFrame(e *Envelope, p []byte, fresh bool) error {
 			return err
 		}
 		e.Info = string(body[4 : 4+l])
+	case MsgAsyncPull:
+		return need(0)
+	case MsgAsyncPush:
+		var sp *compress.Sparse
+		if fresh {
+			sp = &compress.Sparse{}
+		} else {
+			if c.recvSparse == nil {
+				c.recvSparse = &compress.Sparse{}
+			}
+			sp = c.recvSparse
+		}
+		if err := sp.DecodeBinaryInto(body); err != nil {
+			return fmt.Errorf("%w: %v", errWireFrame, err)
+		}
+		e.Update = sp
 	default:
 		return fmt.Errorf("%w: unknown message type %d", errWireFrame, p[0])
 	}

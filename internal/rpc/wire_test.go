@@ -540,3 +540,41 @@ func TestCodecInterop(t *testing.T) {
 		}
 	}
 }
+
+// TestWireHelloSessionLegacyInterop pins the multi-session hello
+// extension's compatibility contract: an empty session encodes as the
+// legacy 4-byte hello body, and a hand-built legacy frame decodes with
+// Session == "" — pre-session peers and session-aware peers interoperate
+// in both directions.
+func TestWireHelloSessionLegacyInterop(t *testing.T) {
+	plain := &Envelope{Type: MsgHello, ClientID: 3, NumSamples: 412}
+	if size, err := plain.wirePayloadSize(); err != nil || size != envHeaderBytes+4 {
+		t.Fatalf("plain hello payload = %d (%v), want legacy %d", size, err, envHeaderBytes+4)
+	}
+	raw := encodeBinaryEnvelope(t, plain)
+	if len(raw) != 4+envHeaderBytes+4 {
+		t.Fatalf("plain hello frame is %d bytes, want %d", len(raw), 4+envHeaderBytes+4)
+	}
+
+	// A session-bearing hello grows by exactly 1+len(name) bytes and
+	// round-trips the name.
+	named := &Envelope{Type: MsgHello, ClientID: 3, NumSamples: 412, Session: "line-b"}
+	rawNamed := encodeBinaryEnvelope(t, named)
+	if want := len(raw) + 1 + len(named.Session); len(rawNamed) != want {
+		t.Fatalf("session hello frame is %d bytes, want %d", len(rawNamed), want)
+	}
+
+	// Decode the legacy frame through a binary Conn: Session must stay "".
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	cb := NewBinaryConn(b, nil)
+	go a.Write(raw)
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Session != "" || got.NumSamples != 412 || got.ClientID != 3 {
+		t.Fatalf("legacy hello decoded as %+v", got)
+	}
+}

@@ -1,0 +1,613 @@
+package session
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adafl/internal/checkpoint"
+	"adafl/internal/compress"
+	"adafl/internal/dataset"
+	"adafl/internal/fl"
+	"adafl/internal/nn"
+	"adafl/internal/obs"
+	"adafl/internal/rpc"
+	"adafl/internal/shard"
+	"adafl/internal/tensor"
+)
+
+// ErrKilled is returned by AsyncSession.Run when Kill interrupted it:
+// the crash-simulation hook for restart/resume testing.
+var ErrKilled = fmt.Errorf("session: killed")
+
+// AsyncConfig configures a buffered-asynchronous (FedBuff) session.
+// Clients cycle pull→train→push with no round barrier; the server folds
+// each arriving delta into a shard.Partial-backed buffer, weighting it
+// by fl.StalenessWeight of how many model versions its base has aged,
+// and applies the buffer once K updates have arrived. Stragglers are
+// never evicted for slowness — their cost shows up as staleness-
+// histogram mass, not as lost clients.
+type AsyncConfig struct {
+	// Name labels this session in metrics (session="...") and logs; ""
+	// keeps unlabeled series.
+	Name string
+	// NewModel builds the shared architecture.
+	NewModel func() *nn.Model
+	// Test, when non-nil, is evaluated after every EvalEvery versions.
+	Test *dataset.Dataset
+	// EvalEvery is the evaluation cadence in model versions (0 means 1).
+	EvalEvery int
+	// K is the FedBuff buffer size: arrivals per model-version apply.
+	K int
+	// MaxStaleness rejects a push whose base model is more than this many
+	// versions old (rejected = dropped with a metric and an event, the
+	// client stays connected and re-pulls). 0 accepts any staleness.
+	MaxStaleness int
+	// Eta is the server learning rate applied to the weighted buffer
+	// mean (0 means 1).
+	Eta float64
+	// Versions is the training budget: the session shuts down after
+	// producing this many model versions.
+	Versions int
+	// MaxClients is the admission cap (0 = unbounded).
+	MaxClients int
+	// MaxUpdateNorm enables the shard tree's causal median-relative norm
+	// gate; quarantined senders are evicted. 0 disables it.
+	MaxUpdateNorm float64
+	// Shards is the fold-worker count (0 means 1).
+	Shards int
+	// ShardQueueDepth overrides the per-shard ingest queue depth.
+	ShardQueueDepth int
+	// CheckpointDir, when non-empty, persists every model version as a
+	// delta-checkpoint epoch (checkpoint.DeltaWriter — async sessions
+	// always use the chunked content-hash delta format).
+	CheckpointDir string
+	// Resume restores the latest delta epoch in CheckpointDir and
+	// continues from its model version. Without Resume, a directory that
+	// already holds a chain is refused rather than silently intermixed.
+	Resume bool
+	// RebaseEvery overrides the delta chain's full-rebase cadence
+	// (0 = checkpoint.DefaultRebaseEvery).
+	RebaseEvery int
+	// WriteTimeout bounds each per-client send (0 means 10s).
+	WriteTimeout time.Duration
+	// Metrics, when non-nil, receives the async instrument set, labeled
+	// session=Name (catalogue in DESIGN.md §Async mode).
+	Metrics *obs.Registry
+	// Events, when non-nil, receives one JSONL record per push, stale
+	// rejection, quarantine, version apply and checkpoint; flushed at
+	// every version boundary.
+	Events *obs.EventLog
+	// Logf receives progress lines (log.Printf if nil).
+	Logf func(format string, args ...interface{})
+}
+
+// AsyncResult summarises a completed async session.
+type AsyncResult struct {
+	// Versions is the model version the session ended at.
+	Versions int
+	// FinalAcc is the last evaluated test accuracy (0 if never evaluated).
+	FinalAcc float64
+	// Pushes counts updates accepted into the buffer (quarantined folds
+	// included — they are screened inside the shard workers).
+	Pushes int
+	// StaleRejected counts pushes dropped for exceeding MaxStaleness.
+	StaleRejected int
+	// StalenessCounts histograms accepted pushes by staleness (version
+	// delta between the global and the push's base model).
+	StalenessCounts map[int]int
+	// Quarantines lists updates rejected by the integrity screen.
+	Quarantines []shard.QuarantineRecord
+	// Evictions counts clients dropped for quarantined updates. Slowness
+	// never evicts in async mode.
+	Evictions int
+	// BytesReceived is the total uplink volume across all clients.
+	BytesReceived int64
+	// ResumedFrom is the model version the session resumed at (-1 for a
+	// fresh session).
+	ResumedFrom int
+}
+
+// arrival is one MsgAsyncPush handed from a connection goroutine to the
+// engine. The delta is freshly allocated (conn.Recv, not the scratch
+// path), so it survives the channel crossing.
+type arrival struct {
+	client int
+	base   int // model version the delta was trained from
+	delta  *compress.Sparse
+}
+
+// AsyncSession is the buffered-asynchronous engine. Construction
+// (including resume) happens in NewAsync; Deliver admits connections
+// from a Manager at any time after that; Run executes the engine until
+// the version budget or Kill.
+type AsyncSession struct {
+	cfg AsyncConfig
+	met asyncMetrics
+	dim int
+
+	model *nn.Model
+	tree  *shard.Tree
+
+	// Published model snapshot: an immutable (params, version) pair
+	// replaced wholesale at each apply, so pull handlers serve it without
+	// engine coordination.
+	snapMu      sync.RWMutex
+	snapParams  []float64
+	snapVersion int
+
+	arrivals chan arrival
+	killCh   chan struct{}
+	killOnce sync.Once
+	// stopped is closed when the engine stops draining arrivals (normal
+	// completion or Kill), releasing connection goroutines blocked on the
+	// arrivals channel.
+	stopped chan struct{}
+
+	connMu  sync.Mutex
+	conns   map[int]*rpc.Conn
+	closing bool
+	seen    map[int]bool
+
+	wg        sync.WaitGroup // connection serve goroutines
+	connBytes atomic.Int64   // uplink bytes of closed connections
+
+	deltaW   *checkpoint.DeltaWriter
+	buffered int // arrivals folded since the last apply
+	res      *AsyncResult
+}
+
+// asyncSnapshot is the gob "meta" section of an async delta checkpoint.
+// The global vector rides in its own fixed-width section so positional
+// chunking can dedup unchanged parameters.
+type asyncSnapshot struct {
+	Version         int
+	ParamDim        int
+	K               int
+	FinalAcc        float64
+	Pushes          int
+	StaleRejected   int
+	Evictions       int
+	StalenessCounts map[int]int
+	Quarantines     []shard.QuarantineRecord
+	BytesReceived   int64
+}
+
+// NewAsync validates the config, restores the delta chain when resuming
+// and returns the session ready to accept Deliver calls.
+func NewAsync(cfg AsyncConfig) (*AsyncSession, error) {
+	if cfg.NewModel == nil {
+		return nil, fmt.Errorf("session: async needs NewModel")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("session: async buffer size K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Versions < 1 {
+		return nil, fmt.Errorf("session: async needs a positive Versions budget, got %d", cfg.Versions)
+	}
+	if cfg.MaxStaleness < 0 {
+		return nil, fmt.Errorf("session: negative MaxStaleness %d", cfg.MaxStaleness)
+	}
+	if cfg.Eta == 0 {
+		cfg.Eta = 1
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 1
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	model := cfg.NewModel()
+	global := model.ParamVector()
+	a := &AsyncSession{
+		cfg:      cfg,
+		met:      newAsyncMetrics(cfg.Metrics, cfg.Name),
+		dim:      len(global),
+		model:    model,
+		arrivals: make(chan arrival, cfg.K),
+		killCh:   make(chan struct{}),
+		stopped:  make(chan struct{}),
+		conns:    map[int]*rpc.Conn{},
+		seen:     map[int]bool{},
+		res:      &AsyncResult{ResumedFrom: -1, StalenessCounts: map[int]int{}},
+	}
+	version := 0
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("session: checkpoint dir: %w", err)
+		}
+		latest, ok, err := checkpoint.LatestDeltaEpoch(cfg.CheckpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("session: checkpoint dir: %w", err)
+		}
+		switch {
+		case ok && !cfg.Resume:
+			return nil, fmt.Errorf("session: %s already holds a delta chain (epoch %d); pass Resume or use a fresh directory", cfg.CheckpointDir, latest)
+		case ok:
+			_, sections, err := checkpoint.NewDeltaReader(cfg.CheckpointDir, 0).ReadLatest()
+			if err != nil {
+				return nil, fmt.Errorf("session: resume from %s: %w", cfg.CheckpointDir, err)
+			}
+			snap, restored, err := decodeAsyncSnapshot(sections)
+			if err != nil {
+				return nil, fmt.Errorf("session: resume from %s: %w", cfg.CheckpointDir, err)
+			}
+			if snap.ParamDim != a.dim {
+				return nil, fmt.Errorf("session: resume from %s: snapshot is for a %d-parameter model, this session has %d",
+					cfg.CheckpointDir, snap.ParamDim, a.dim)
+			}
+			copy(global, restored)
+			version = snap.Version
+			a.res.FinalAcc = snap.FinalAcc
+			a.res.Pushes = snap.Pushes
+			a.res.StaleRejected = snap.StaleRejected
+			a.res.Evictions = snap.Evictions
+			a.res.BytesReceived = snap.BytesReceived
+			a.connBytes.Store(snap.BytesReceived)
+			if snap.StalenessCounts != nil {
+				a.res.StalenessCounts = snap.StalenessCounts
+			}
+			a.res.Quarantines = snap.Quarantines
+			a.res.ResumedFrom = version
+			cfg.Logf("session %q: resumed async session at model version %d", cfg.Name, version)
+		default:
+			if cfg.Resume {
+				cfg.Logf("session %q: no delta checkpoint in %s, starting fresh", cfg.Name, cfg.CheckpointDir)
+			}
+		}
+		w, err := checkpoint.NewDeltaWriter(cfg.CheckpointDir, checkpoint.DeltaOptions{RebaseEvery: cfg.RebaseEvery})
+		if err != nil {
+			return nil, fmt.Errorf("session: checkpoint dir: %w", err)
+		}
+		a.deltaW = w
+	}
+	if version >= cfg.Versions {
+		return nil, fmt.Errorf("session: resume from %s: version %d already meets the %d-version budget",
+			cfg.CheckpointDir, version, cfg.Versions)
+	}
+	a.tree = shard.NewTree(shard.Config{
+		Shards:      cfg.Shards,
+		Dim:         a.dim,
+		QueueDepth:  cfg.ShardQueueDepth,
+		MaxNormMult: cfg.MaxUpdateNorm,
+		Metrics:     cfg.Metrics,
+		Logf:        shard.Logf(cfg.Logf),
+	})
+	a.publish(append([]float64(nil), global...), version)
+	return a, nil
+}
+
+// publish replaces the served model snapshot. params must not be
+// mutated after the call.
+func (a *AsyncSession) publish(params []float64, version int) {
+	a.snapMu.Lock()
+	a.snapParams, a.snapVersion = params, version
+	a.snapMu.Unlock()
+}
+
+// snapshot returns the current immutable (params, version) pair.
+func (a *AsyncSession) snapshot() ([]float64, int) {
+	a.snapMu.RLock()
+	defer a.snapMu.RUnlock()
+	return a.snapParams, a.snapVersion
+}
+
+// Version returns the current model version.
+func (a *AsyncSession) Version() int {
+	_, v := a.snapshot()
+	return v
+}
+
+// Deliver admits a negotiated connection whose hello has been read
+// (the Manager's routing contract). Safe any time after NewAsync.
+func (a *AsyncSession) Deliver(conn *rpc.Conn, hello *rpc.Envelope) error {
+	id := hello.ClientID
+	conn.SetReadDeadline(time.Time{})
+	a.connMu.Lock()
+	if a.closing {
+		a.connMu.Unlock()
+		conn.Send(&rpc.Envelope{Type: rpc.MsgShutdown, Info: "session over"})
+		conn.Close()
+		return fmt.Errorf("session: session over")
+	}
+	if _, dup := a.conns[id]; dup {
+		a.connMu.Unlock()
+		a.cfg.Logf("session %q: rejecting duplicate client id %d", a.cfg.Name, id)
+		conn.Send(&rpc.Envelope{Type: rpc.MsgShutdown, Info: fmt.Sprintf("duplicate client id %d", id)})
+		conn.Close()
+		return fmt.Errorf("session: duplicate client id %d", id)
+	}
+	if limit := a.cfg.MaxClients; limit > 0 && len(a.conns) >= limit {
+		a.connMu.Unlock()
+		a.cfg.Logf("session %q: rejecting client %d: session at its admission cap (%d clients)", a.cfg.Name, id, limit)
+		conn.Send(&rpc.Envelope{Type: rpc.MsgShutdown, Info: fmt.Sprintf("session full (%d clients)", limit)})
+		conn.Close()
+		return fmt.Errorf("session: session full (%d clients)", limit)
+	}
+	a.conns[id] = conn
+	rejoin := a.seen[id]
+	a.seen[id] = true
+	a.connMu.Unlock()
+	a.met.registrations.Inc()
+	if rejoin {
+		a.met.reconnects.Inc()
+	}
+	a.met.connections.Add(1)
+	_, version := a.snapshot()
+	conn.SetWriteDeadline(time.Now().Add(a.cfg.WriteTimeout))
+	if err := conn.Send(&rpc.Envelope{Type: rpc.MsgWelcome, Round: version}); err != nil {
+		a.removeConn(id, conn)
+		conn.Close()
+		return fmt.Errorf("session: welcome client %d: %w", id, err)
+	}
+	conn.SetWriteDeadline(time.Time{})
+	a.cfg.Logf("session %q: client %d registered (%d samples) at model version %d", a.cfg.Name, id, hello.NumSamples, version)
+	a.wg.Add(1)
+	go a.serve(id, conn)
+	return nil
+}
+
+// removeConn detaches a connection from the roster (idempotent: only the
+// mapping that still points at this conn is removed) and folds its
+// uplink bytes into the session accounting.
+func (a *AsyncSession) removeConn(id int, conn *rpc.Conn) {
+	a.connMu.Lock()
+	owned := a.conns[id] == conn
+	if owned {
+		delete(a.conns, id)
+	}
+	a.connMu.Unlock()
+	if owned {
+		a.connBytes.Add(conn.BytesReceived())
+		a.met.connections.Add(-1)
+	}
+}
+
+// serve is the per-connection receive loop: answer pulls from the
+// published snapshot, relay pushes to the engine, echo pings. It exits
+// on any wire error (the client redials and re-registers) or when the
+// engine stops.
+func (a *AsyncSession) serve(id int, conn *rpc.Conn) {
+	defer a.wg.Done()
+	defer conn.Close()
+	defer a.removeConn(id, conn)
+	for {
+		e, err := conn.Recv() // fresh: push deltas outlive this iteration
+		if err != nil {
+			return
+		}
+		switch e.Type {
+		case rpc.MsgAsyncPull:
+			params, version := a.snapshot()
+			a.met.pulls.Inc()
+			conn.SetWriteDeadline(time.Now().Add(a.cfg.WriteTimeout))
+			if err := conn.Send(&rpc.Envelope{Type: rpc.MsgModel, Round: version, Params: params}); err != nil {
+				return
+			}
+			conn.SetWriteDeadline(time.Time{})
+		case rpc.MsgAsyncPush:
+			if e.Update == nil {
+				a.cfg.Logf("session %q: client %d push without update", a.cfg.Name, id)
+				return
+			}
+			select {
+			case a.arrivals <- arrival{client: id, base: e.Round, delta: e.Update}:
+			case <-a.stopped:
+				return
+			}
+		case rpc.MsgPing:
+			conn.SetWriteDeadline(time.Now().Add(a.cfg.WriteTimeout))
+			if err := conn.Send(&rpc.Envelope{Type: rpc.MsgPing, Round: e.Round}); err != nil {
+				return
+			}
+			conn.SetWriteDeadline(time.Time{})
+		default:
+			a.cfg.Logf("session %q: client %d sent unexpected %v", a.cfg.Name, id, e.Type)
+			return
+		}
+	}
+}
+
+// Kill simulates a server crash for restart testing: every connection is
+// torn down with no farewell and Run returns ErrKilled. State not yet
+// checkpointed (the partial FedBuff buffer) is lost, as in a real crash.
+func (a *AsyncSession) Kill() {
+	a.killOnce.Do(func() { close(a.killCh) })
+	a.connMu.Lock()
+	a.closing = true
+	conns := make([]*rpc.Conn, 0, len(a.conns))
+	for _, c := range a.conns {
+		conns = append(conns, c)
+	}
+	a.connMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Run executes the engine: fold arrivals, apply every K-th, checkpoint,
+// until the version budget is met (clean shutdown with farewells) or
+// Kill (ErrKilled). The caller runs exactly one Run per session.
+func (a *AsyncSession) Run() (*AsyncResult, error) {
+	defer a.tree.Close()
+	res := a.res
+	for {
+		if _, v := a.snapshot(); v >= a.cfg.Versions {
+			break
+		}
+		select {
+		case <-a.killCh:
+			close(a.stopped)
+			a.wg.Wait()
+			res.Versions = a.Version()
+			res.BytesReceived = a.connBytes.Load()
+			return res, ErrKilled
+		case arr := <-a.arrivals:
+			a.fold(arr)
+		}
+	}
+	close(a.stopped)
+	a.shutdownConns(fmt.Sprintf("done: %d model versions, final acc %.3f", a.Version(), res.FinalAcc))
+	a.wg.Wait()
+	res.Versions = a.Version()
+	res.BytesReceived = a.connBytes.Load()
+	return res, nil
+}
+
+// fold ingests one arrival, applying the buffer when it reaches K.
+func (a *AsyncSession) fold(arr arrival) {
+	_, version := a.snapshot()
+	staleness := version - arr.base
+	if staleness < 0 {
+		// A base version from the future is protocol junk, not staleness.
+		a.cfg.Logf("session %q: client %d pushed base version %d ahead of global %d, dropping",
+			a.cfg.Name, arr.client, arr.base, version)
+		return
+	}
+	if max := a.cfg.MaxStaleness; max > 0 && staleness > max {
+		a.res.StaleRejected++
+		a.met.stale.Inc()
+		a.cfg.Events.Emit(obs.Event{Type: "stale", Round: version, Client: arr.client,
+			Reason: fmt.Sprintf("staleness %d > %d", staleness, max)})
+		return
+	}
+	a.met.staleness.Observe(float64(staleness))
+	a.res.StalenessCounts[staleness]++
+	a.tree.Ingest(version, shard.Update{
+		Client: arr.client,
+		Weight: fl.StalenessWeight(staleness),
+		Delta:  arr.delta,
+	})
+	a.buffered++
+	a.res.Pushes++
+	a.met.pushes.Inc()
+	a.cfg.Events.Emit(obs.Event{Type: "push", Round: version, Client: arr.client,
+		Bytes: int64(arr.delta.WireBytes()), Norm: float64(staleness)})
+	if a.buffered >= a.cfg.K {
+		a.apply()
+	}
+}
+
+// apply drains the buffer into a new model version: the FedBuff weighted
+// mean global += Eta·Σwᵢdᵢ/Σwᵢ, with wᵢ = fl.StalenessWeight — pinned
+// equal to fl.FedBuff by TestAsyncBufferMatchesFedBuff.
+func (a *AsyncSession) apply() {
+	part, quarantined := a.tree.Finish()
+	a.buffered = 0
+	params, version := a.snapshot()
+	for _, q := range quarantined {
+		a.met.quarantines.Inc()
+		a.res.Evictions++
+		a.cfg.Events.Emit(obs.Event{Type: "quarantine", Round: version, Client: q.ClientID,
+			Reason: q.Reason, Norm: q.Norm})
+		a.cfg.Logf("session %q: quarantined update from client %d: %s", a.cfg.Name, q.ClientID, q.Reason)
+		a.evict(q.ClientID)
+	}
+	a.res.Quarantines = append(a.res.Quarantines, quarantined...)
+	if part.Count == 0 || part.WeightSum <= 0 {
+		// The whole buffer was quarantined: no version advances, the
+		// global is bitwise unaffected by the rejected mass.
+		return
+	}
+	next := append([]float64(nil), params...)
+	tensor.Axpy(a.cfg.Eta/part.WeightSum, part.Sum, next)
+	version++
+	a.publish(next, version)
+	a.met.versions.Inc()
+
+	acc := math.NaN()
+	if a.cfg.Test != nil && version%a.cfg.EvalEvery == 0 {
+		a.model.SetParamVector(next)
+		acc, _ = a.model.EvaluateBatched(a.cfg.Test.X, a.cfg.Test.Labels, 64)
+		a.res.FinalAcc = acc
+		a.met.accuracy.Set(acc)
+		a.cfg.Logf("session %q: version %d acc=%.3f buffered=%d", a.cfg.Name, version, acc, part.Count)
+	}
+	a.cfg.Events.Emit(obs.Event{Type: "version", Round: version, Client: -1,
+		Received: part.Count, Acc: obs.AccValue(acc)})
+
+	if a.deltaW != nil {
+		start := time.Now()
+		size, err := a.saveCheckpoint(version)
+		if err != nil {
+			a.cfg.Logf("session %q: checkpoint at version %d failed (continuing): %v", a.cfg.Name, version, err)
+		} else {
+			sec := time.Since(start).Seconds()
+			a.met.ckptSec.Observe(sec)
+			a.met.ckptBytes.Set(float64(size))
+			a.cfg.Events.Emit(obs.Event{Type: "checkpoint", Round: version, Client: -1, Bytes: size, Seconds: sec})
+		}
+	}
+	if err := a.cfg.Events.Flush(); err != nil {
+		a.cfg.Logf("session %q: event log flush failed: %v", a.cfg.Name, err)
+	}
+}
+
+// evict closes a quarantined sender's connection; serve's cleanup path
+// detaches it. Unlike the synchronous engine this is the only eviction
+// cause — slowness just accrues staleness.
+func (a *AsyncSession) evict(id int) {
+	a.connMu.Lock()
+	conn := a.conns[id]
+	a.connMu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// asyncDeltaSections mirrors the sync engine's delta layout: a gob meta
+// section, the fixed-width global vector and a bare little-endian u64
+// "round" (the model version) an offline auditor can read generically.
+func (a *AsyncSession) saveCheckpoint(version int) (int64, error) {
+	params, _ := a.snapshot()
+	live := a.connBytes.Load()
+	a.connMu.Lock()
+	for _, c := range a.conns {
+		live += c.BytesReceived()
+	}
+	a.connMu.Unlock()
+	snap := &asyncSnapshot{
+		Version:         version,
+		ParamDim:        a.dim,
+		K:               a.cfg.K,
+		FinalAcc:        a.res.FinalAcc,
+		Pushes:          a.res.Pushes,
+		StaleRejected:   a.res.StaleRejected,
+		Evictions:       a.res.Evictions,
+		StalenessCounts: a.res.StalenessCounts,
+		Quarantines:     a.res.Quarantines,
+		BytesReceived:   live,
+	}
+	sections, err := encodeAsyncSnapshot(snap, params)
+	if err != nil {
+		return 0, err
+	}
+	_, size, err := a.deltaW.Write(sections)
+	return size, err
+}
+
+// shutdownConns sends farewells and closes every connection.
+func (a *AsyncSession) shutdownConns(info string) {
+	a.connMu.Lock()
+	a.closing = true
+	conns := make([]*rpc.Conn, 0, len(a.conns))
+	for _, c := range a.conns {
+		conns = append(conns, c)
+	}
+	a.connMu.Unlock()
+	for _, c := range conns {
+		c.SetWriteDeadline(time.Now().Add(a.cfg.WriteTimeout))
+		c.Send(&rpc.Envelope{Type: rpc.MsgShutdown, Info: info})
+		c.Close()
+	}
+}

@@ -1,0 +1,192 @@
+package session
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"adafl/internal/checkpoint"
+	"adafl/internal/obs"
+)
+
+// DoctorReport is the outcome of an offline checkpoint/event-log audit.
+type DoctorReport struct {
+	// Format is "delta" (epoch chain) or "full" (session.ckpt).
+	Format string
+	// Epochs lists the delta epochs present (delta format only).
+	Epochs []uint64
+	// Round is the checkpoint's completed round / model version, read
+	// from the generic little-endian "round" section (delta format) —
+	// -1 when unavailable (full format, whose payload types the doctor
+	// does not decode).
+	Round int
+	// Chunks/Refs/Bytes summarise the delta chain (delta format only).
+	Chunks, Refs int
+	Bytes        int64
+	// Events is the number of event-log records examined (0 when no log
+	// was given).
+	Events int
+	// Problems lists every inconsistency found; empty means healthy.
+	Problems []string
+}
+
+// Healthy reports whether the audit found no problems.
+func (r *DoctorReport) Healthy() bool { return len(r.Problems) == 0 }
+
+// Doctor audits a checkpoint directory — and, when eventPath is
+// non-empty, its JSONL event log — offline:
+//
+//   - delta chains: every epoch's frame CRC, structural validity and
+//     chunk SHA-256s; cross-epoch reference resolution (dangling or
+//     hash-mismatched refs fail); full reconstruction of the latest
+//     epoch; presence and consistency of the "round" section.
+//   - full snapshots: frame magic/version/length/CRC.
+//   - event log: round/version records must advance gaplessly (each
+//     distinct value one above the previous; duplicates allowed — a
+//     crash between checkpoint and re-run replays a round), and the
+//     checkpoint's round must sit at the log's tail.
+//
+// Problems are findings, not errors: the error return is reserved for
+// the audit itself being impossible (unreadable directory, no
+// checkpoint at all). Callers gate exit codes on report.Healthy().
+func Doctor(dir, eventPath string, w io.Writer) (*DoctorReport, error) {
+	if w == nil {
+		w = io.Discard
+	}
+	rep := &DoctorReport{Round: -1}
+	epochs, err := checkpoint.DeltaEpochs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("doctor: %w", err)
+	}
+	fullPath := filepath.Join(dir, "session.ckpt")
+	hasFull := checkpoint.Exists(fullPath)
+	switch {
+	case len(epochs) > 0:
+		rep.Format = "delta"
+		rep.Epochs = epochs
+		if hasFull {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("directory holds both a delta chain and a full snapshot %s", fullPath))
+		}
+		auditDelta(dir, rep, w)
+	case hasFull:
+		rep.Format = "full"
+		if size, err := checkpoint.VerifyFrame(fullPath, 0); err != nil {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("full snapshot: %v", err))
+		} else {
+			rep.Bytes = size
+			fmt.Fprintf(w, "doctor: full snapshot %s: frame ok (%d payload bytes)\n", fullPath, size)
+		}
+	default:
+		return nil, fmt.Errorf("doctor: no checkpoint (delta chain or session.ckpt) in %s", dir)
+	}
+	if eventPath != "" {
+		auditEvents(eventPath, rep, w)
+	}
+	if rep.Healthy() {
+		fmt.Fprintf(w, "doctor: %s checkpoint in %s is consistent\n", rep.Format, dir)
+	} else {
+		for _, p := range rep.Problems {
+			fmt.Fprintf(w, "doctor: PROBLEM: %s\n", p)
+		}
+	}
+	return rep, nil
+}
+
+// auditDelta verifies the chain and extracts the latest epoch's round.
+func auditDelta(dir string, rep *DoctorReport, w io.Writer) {
+	audit, err := checkpoint.AuditDelta(dir)
+	if err != nil {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("delta chain: %v", err))
+		return
+	}
+	rep.Chunks, rep.Refs, rep.Bytes = audit.Chunks, audit.Refs, audit.Bytes
+	fmt.Fprintf(w, "doctor: delta chain %v: %d chunks (%d cross-epoch refs), %d bytes on disk\n",
+		audit.Epochs, audit.Chunks, audit.Refs, audit.Bytes)
+	_, sections, err := checkpoint.NewDeltaReader(dir, 0).ReadLatest()
+	if err != nil {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("reconstruct latest epoch: %v", err))
+		return
+	}
+	var roundSec []byte
+	var hasGlobal bool
+	for _, sec := range sections {
+		switch sec.Name {
+		case secRound:
+			roundSec = sec.Data
+		case secGlobal:
+			hasGlobal = true
+			if len(sec.Data)%8 != 0 {
+				rep.Problems = append(rep.Problems, fmt.Sprintf("global section is %d bytes, not a multiple of 8", len(sec.Data)))
+			}
+		}
+	}
+	if !hasGlobal {
+		rep.Problems = append(rep.Problems, `latest epoch has no "global" section`)
+	}
+	switch {
+	case roundSec == nil:
+		rep.Problems = append(rep.Problems, `latest epoch has no "round" section`)
+	case len(roundSec) != 8:
+		rep.Problems = append(rep.Problems, fmt.Sprintf("round section is %d bytes, want 8", len(roundSec)))
+	default:
+		rep.Round = int(binary.LittleEndian.Uint64(roundSec))
+		fmt.Fprintf(w, "doctor: latest epoch %d holds round/version %d\n", audit.Latest, rep.Round)
+	}
+}
+
+// auditEvents checks the event log's round continuity and its agreement
+// with the checkpoint's round.
+func auditEvents(path string, rep *DoctorReport, w io.Writer) {
+	f, err := os.Open(path)
+	if err != nil {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("event log: %v", err))
+		return
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("event log: %v", err))
+		return
+	}
+	rep.Events = len(events)
+	// One record per completed round/version: the sync engine emits
+	// "round", the async engine "version". Values must advance gaplessly;
+	// an exact repeat is legal (a crash after the event flush but before
+	// the checkpoint re-runs that round after resume).
+	prev := -1
+	gapless := true
+	var rounds []int
+	for _, e := range events {
+		if e.Type != "round" && e.Type != "version" {
+			continue
+		}
+		rounds = append(rounds, e.Round)
+		if prev >= 0 && e.Round != prev && e.Round != prev+1 {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("event log: round %d follows %d (gap or regression)", e.Round, prev))
+			gapless = false
+		}
+		prev = e.Round
+	}
+	if gapless && len(rounds) > 0 {
+		fmt.Fprintf(w, "doctor: event log: %d records, %d round/version marks, gapless %d..%d\n",
+			len(events), len(rounds), rounds[0], prev)
+	}
+	if rep.Round >= 0 && len(rounds) > 0 {
+		// The sync engine's "round" events are 0-based while the async
+		// engine's "version" events match the checkpoint's version
+		// directly; both flush the event before the next round starts, so
+		// the checkpoint round may lead the log by at most one mark.
+		sorted := append([]int(nil), rounds...)
+		sort.Ints(sorted)
+		max := sorted[len(sorted)-1]
+		if rep.Round > max+1 {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("checkpoint round %d is ahead of the event log's last mark %d", rep.Round, max))
+		}
+		if max > rep.Round+1 {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("event log reaches round %d but the checkpoint stopped at %d", max, rep.Round))
+		}
+	}
+}

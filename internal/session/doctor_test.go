@@ -1,0 +1,168 @@
+package session
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adafl/internal/checkpoint"
+	"adafl/internal/obs"
+)
+
+// writeDeltaChain writes n async-snapshot epochs to dir, each advancing
+// the version and perturbing a small prefix of the global vector.
+func writeDeltaChain(t *testing.T, dir string, n, dim int) {
+	t.Helper()
+	w, err := checkpoint.NewDeltaWriter(dir, checkpoint.DeltaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, dim)
+	for v := 1; v <= n; v++ {
+		for j := 0; j < 32; j++ {
+			params[j] = float64(v) * 0.01
+		}
+		snap := &asyncSnapshot{Version: v, ParamDim: dim, K: 2, Pushes: v * 2}
+		sections, err := encodeAsyncSnapshot(snap, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := w.Write(sections); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// writeEventLog writes one "version" mark per value to path.
+func writeEventLog(t *testing.T, path string, versions []int) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := obs.NewEventLogWriter(f)
+	for _, v := range versions {
+		l.Emit(obs.Event{Type: "version", Round: v, Client: -1})
+	}
+	l.Emit(obs.Event{Type: "push", Round: versions[len(versions)-1], Client: 0})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func TestDoctorHealthyDeltaChain(t *testing.T) {
+	dir := t.TempDir()
+	writeDeltaChain(t, dir, 4, 1024)
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	writeEventLog(t, events, []int{1, 2, 3, 3, 4}) // duplicate 3 is legal (crash replay)
+	var out strings.Builder
+	rep, err := Doctor(dir, events, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Fatalf("healthy chain reported problems: %v", rep.Problems)
+	}
+	if rep.Format != "delta" || rep.Round != 4 || len(rep.Epochs) == 0 {
+		t.Fatalf("report misread the chain: %+v", rep)
+	}
+	if rep.Events == 0 || rep.Chunks == 0 {
+		t.Fatalf("report missing audit detail: %+v", rep)
+	}
+	if !strings.Contains(out.String(), "consistent") {
+		t.Fatalf("summary line missing from output:\n%s", out.String())
+	}
+}
+
+func TestDoctorDetectsBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	writeDeltaChain(t, dir, 3, 1024)
+	// Flip one bit in the middle of the latest epoch's payload.
+	epochs, err := checkpoint.DeltaEpochs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("delta-%08d.ckpt", epochs[len(epochs)-1]))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Doctor(dir, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() {
+		t.Fatal("doctor passed a bit-flipped chunk")
+	}
+}
+
+func TestDoctorDetectsEventGap(t *testing.T) {
+	dir := t.TempDir()
+	writeDeltaChain(t, dir, 5, 512)
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	writeEventLog(t, events, []int{1, 2, 4, 5}) // version 3 vanished
+	rep, err := Doctor(dir, events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() {
+		t.Fatal("doctor passed an event log with a version gap")
+	}
+}
+
+func TestDoctorDetectsLaggingCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	writeDeltaChain(t, dir, 2, 512)
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	writeEventLog(t, events, []int{1, 2, 3, 4, 5}) // log far ahead of the chain
+	rep, err := Doctor(dir, events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() {
+		t.Fatal("doctor passed a checkpoint two versions behind its event log")
+	}
+}
+
+func TestDoctorFullSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.ckpt")
+	if err := checkpoint.Save(path, &asyncSnapshot{Version: 7, ParamDim: 3}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Doctor(dir, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() || rep.Format != "full" {
+		t.Fatalf("healthy full snapshot misjudged: %+v", rep)
+	}
+	// Truncate it: the frame check must fail.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Doctor(dir, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() {
+		t.Fatal("doctor passed a truncated full snapshot")
+	}
+}
+
+func TestDoctorEmptyDirIsAnError(t *testing.T) {
+	if _, err := Doctor(t.TempDir(), "", nil); err == nil {
+		t.Fatal("doctor audited an empty directory without error")
+	}
+}

@@ -1,0 +1,196 @@
+// Package session is the multi-session control plane: one TCP listener
+// multiplexing N named federation sessions. The manager owns the socket,
+// negotiates the wire codec per connection, reads the registration hello
+// and routes it by the hello's Session field — "" targets the default
+// session, so single-session clients interoperate unchanged. Each
+// session is an independent engine with its own global model, aggregator
+// state, quarantine log and (session-labeled) metrics: the synchronous
+// round engine (rpc.NewManagedServer) and the buffered-asynchronous
+// FedBuff engine (AsyncSession) both plug in through the Handler
+// interface.
+//
+// Isolation contract: sessions share only the listener, the hello
+// router and (optionally) one obs.Registry, whose series are disjoint by
+// session label. An update, eviction or quarantine in one session cannot
+// perturb another session's aggregation — pinned bitwise by
+// TestMultiSessionIsolation.
+package session
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"adafl/internal/rpc"
+)
+
+// DefaultSession is the session name an empty hello Session routes to.
+const DefaultSession = "default"
+
+// helloTimeout bounds codec negotiation plus the hello read on a freshly
+// accepted connection, so a dialer that never speaks cannot pin a router
+// goroutine.
+const helloTimeout = 5 * time.Second
+
+// maxSessionName is the wire limit: the binary hello carries the session
+// name behind a one-byte length.
+const maxSessionName = 255
+
+// Handler is a session engine the manager routes connections to. Deliver
+// receives an admitted, codec-negotiated connection whose hello has
+// already been read; the engine owns the connection from then on. The
+// hello envelope is only valid during the call. Both rpc.Server (via
+// rpc.NewManagedServer) and AsyncSession implement it.
+type Handler interface {
+	Deliver(conn *rpc.Conn, hello *rpc.Envelope) error
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Addr is the listen address, e.g. ":7070".
+	Addr string
+	// Wire selects the accepted wire codecs exactly like
+	// rpc.ServerConfig.Wire: "" or rpc.WireBinary sniffs per connection,
+	// rpc.WireGob declines binary preambles.
+	Wire string
+	// Fault, when non-nil, wraps every accepted connection with injected
+	// link faults.
+	Fault *rpc.FaultConfig
+	// Logf receives progress lines (log.Printf if nil).
+	Logf func(format string, args ...interface{})
+}
+
+// Manager multiplexes one listener across named sessions. Register the
+// sessions, start Serve in a goroutine, then run each session's engine;
+// Close stops accepting and drains in-flight handshakes.
+type Manager struct {
+	cfg      Config
+	listener net.Listener
+
+	mu       sync.Mutex
+	sessions map[string]Handler
+	closing  bool
+
+	wg sync.WaitGroup // in-flight route goroutines
+}
+
+// NewManager binds the listen socket and returns the manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Wire != "" && cfg.Wire != rpc.WireBinary && cfg.Wire != rpc.WireGob {
+		return nil, fmt.Errorf("session: unknown wire codec %q (want %q or %q)", cfg.Wire, rpc.WireBinary, rpc.WireGob)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{cfg: cfg, listener: ln, sessions: map[string]Handler{}}, nil
+}
+
+// Register adds a named session ("" registers the default session).
+// Registration is allowed while Serve is live — a control plane can
+// admit new sessions without dropping the listener.
+func (m *Manager) Register(name string, h Handler) error {
+	if name == "" {
+		name = DefaultSession
+	}
+	if len(name) > maxSessionName {
+		return fmt.Errorf("session: name %q exceeds %d bytes", name, maxSessionName)
+	}
+	if h == nil {
+		return fmt.Errorf("session: nil handler for %q", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.sessions[name]; dup {
+		return fmt.Errorf("session: %q already registered", name)
+	}
+	m.sessions[name] = h
+	return nil
+}
+
+// Deregister removes a named session; later hellos for it are turned
+// away with a shutdown notice. Connections already delivered are
+// unaffected (the session engine owns them).
+func (m *Manager) Deregister(name string) {
+	if name == "" {
+		name = DefaultSession
+	}
+	m.mu.Lock()
+	delete(m.sessions, name)
+	m.mu.Unlock()
+}
+
+// Addr returns the bound listen address.
+func (m *Manager) Addr() string { return m.listener.Addr().String() }
+
+// Serve accepts and routes connections until Close. It returns nil after
+// a Close, or the terminal listener error.
+func (m *Manager) Serve() error {
+	for {
+		raw, err := m.listener.Accept()
+		if err != nil {
+			m.mu.Lock()
+			closing := m.closing
+			m.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return err
+		}
+		m.wg.Add(1)
+		go m.route(raw)
+	}
+}
+
+// route negotiates the codec, reads the hello and hands the connection
+// to the named session. Rejections (unknown session, engine refusal) are
+// the engine's or the notice's problem — the router never blocks the
+// accept loop.
+func (m *Manager) route(raw net.Conn) {
+	defer m.wg.Done()
+	wrapped := rpc.WrapFault(raw, m.cfg.Fault)
+	wrapped.SetReadDeadline(time.Now().Add(helloTimeout))
+	conn, err := rpc.Accept(wrapped, m.cfg.Wire)
+	if err != nil {
+		wrapped.Close()
+		return
+	}
+	hello, err := conn.Recv()
+	if err != nil || hello.Type != rpc.MsgHello {
+		conn.Close()
+		return
+	}
+	name := hello.Session
+	if name == "" {
+		name = DefaultSession
+	}
+	m.mu.Lock()
+	h := m.sessions[name]
+	m.mu.Unlock()
+	if h == nil {
+		m.cfg.Logf("session: rejecting client %d: unknown session %q", hello.ClientID, name)
+		conn.SetWriteDeadline(time.Now().Add(helloTimeout))
+		conn.Send(&rpc.Envelope{Type: rpc.MsgShutdown, Info: fmt.Sprintf("unknown session %q", name)})
+		conn.Close()
+		return
+	}
+	if err := h.Deliver(conn, hello); err != nil {
+		m.cfg.Logf("session: %q declined client %d: %v", name, hello.ClientID, err)
+	}
+}
+
+// Close stops accepting, waits for in-flight handshakes to drain and
+// returns. Registered sessions keep running; shut them down through
+// their own engines.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closing = true
+	m.mu.Unlock()
+	m.listener.Close()
+	m.wg.Wait()
+}
